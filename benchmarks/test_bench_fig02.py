@@ -1,0 +1,30 @@
+"""Bench: paper Fig. 2 -- transient oil-model validation vs reference.
+
+Regenerates the two transient curves (modified-HotSpot-style compact
+model vs the independent finite-difference reference) for the 200 W
+uniform step on the 20 mm bare die under 10 m/s oil.
+"""
+
+from repro.experiments import run_fig02
+
+
+def test_bench_fig02(benchmark):
+    result = benchmark.pedantic(run_fig02, rounds=1, iterations=1)
+
+    print("\nFig. 2 -- transient response, 200 W step, 10 m/s oil")
+    print(f"  equivalent Rconv: {result.rconv:.3f} K/W (paper: ~1.0)")
+    print(f"  63% rise time:    {result.time_constant_estimate():.2f} s "
+          f"(paper: 'on the order of a second')")
+    print("  time(s)  RC rise(K)  FD rise(K)")
+    for i in range(0, len(result.times), max(1, len(result.times) // 12)):
+        print(f"  {result.times[i]:7.2f}  {result.rc_rise[i]:9.1f}  "
+              f"{result.fd_rise[i]:9.1f}")
+    print(f"  steady: RC {result.rc_steady:.1f} K vs FD "
+          f"{result.fd_steady:.1f} K "
+          f"({100 * result.steady_agreement:.1f}% apart)")
+
+    # The paper's claim: the two independent solvers agree closely.
+    assert result.steady_agreement < 0.05
+    assert result.max_pointwise_error < 0.05
+    assert 0.1 < result.time_constant_estimate() < 1.5
+    assert 0.7 < result.rconv < 1.3

@@ -1,0 +1,26 @@
+"""Bench: paper Fig. 3 -- steady-state validation with a 2 mm hot spot.
+
+Regenerates the Tmax / Tmin / dT bars for the 10 W, 2 mm x 2 mm source
+at the center of the 20 mm die under 10 m/s oil.
+"""
+
+import pytest
+
+from repro.experiments import run_fig03
+
+
+def test_bench_fig03(benchmark):
+    result = benchmark.pedantic(run_fig03, rounds=1, iterations=1)
+
+    print("\nFig. 3 -- steady response, 2mm x 2mm @ 10 W, 10 m/s oil")
+    print("            Tmax(K)   Tmin(K)   dT(K)   (temperature rises)")
+    print(f"  HotSpot  {result.rc_tmax:8.1f}  {result.rc_tmin:8.1f}  "
+          f"{result.rc_dt:6.1f}")
+    print(f"  ANSYS*   {result.fd_tmax:8.1f}  {result.fd_tmin:8.1f}  "
+          f"{result.fd_dt:6.1f}   (*independent FD reference)")
+
+    assert result.tmax_agreement < 0.10
+    assert result.rc_tmin == pytest.approx(result.fd_tmin, rel=0.10)
+    assert result.rc_dt == pytest.approx(result.fd_dt, rel=0.12)
+    # steep gradient: the whole point of shrinking the source
+    assert result.rc_dt > 10 * result.rc_tmin

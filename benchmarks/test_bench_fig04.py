@@ -1,0 +1,30 @@
+"""Bench: paper Fig. 4 -- Athlon steady map under the IR oil bench.
+
+Regenerates the per-block steady temperatures; the paper's validation
+quotes the hottest block (sched, ~73 C model vs ~70 C IR) and the
+coolest active area (~45 C both).
+"""
+
+import pytest
+
+from repro.analysis import block_ranking
+from repro.experiments import run_fig04
+
+
+def test_bench_fig04(benchmark):
+    result = benchmark.pedantic(run_fig04, rounds=1, iterations=1)
+
+    print("\nFig. 4 -- Athlon steady temperatures under OIL-SILICON (C)")
+    for name, temp in block_ranking(result.block_temps_c):
+        print(f"  {name:<9} {temp:6.1f}")
+
+    hot_name, hot_temp = result.hottest
+    cool_name, cool_temp = result.coolest_active
+    print(f"  hottest: {hot_name} {hot_temp:.1f} C (paper: sched ~73)")
+    print(f"  coolest active: {cool_name} {cool_temp:.1f} C (paper: ~45)")
+
+    assert hot_name == "sched"
+    assert hot_temp == pytest.approx(72.0, abs=4.0)
+    assert cool_temp == pytest.approx(46.0, abs=4.0)
+    # the map itself spans the same range as the block summary
+    assert result.cell_map_c.max() >= hot_temp - 1.0

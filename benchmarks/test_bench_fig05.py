@@ -1,0 +1,38 @@
+"""Bench: paper Fig. 5 -- secondary heat path ablation.
+
+Regenerates both bar charts: (a) Athlon under oil with and without the
+secondary path (omitting it overpredicts by >10 C); (b) the same die
+under AIR-SINK, where the secondary path changes results by <1%.
+"""
+
+from repro.experiments import run_fig05
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+
+    print("\nFig. 5(a) -- OIL-SILICON with vs without secondary path (C)")
+    print("  unit       w/ sec   w/o sec   error")
+    for name in result.oil_with_secondary:
+        with_s = result.oil_with_secondary[name]
+        without = result.oil_without_secondary[name]
+        print(f"  {name:<9} {with_s:7.1f}  {without:8.1f}  {without - with_s:6.1f}")
+    print(f"  max error: {result.oil_max_error_c:.1f} C (paper: over 10 C)")
+
+    print("\nFig. 5(b) -- AIR-SINK with vs without secondary path (C)")
+    worst_abs = 0.0
+    for name in result.air_with_secondary:
+        with_s = result.air_with_secondary[name]
+        without = result.air_without_secondary[name]
+        worst_abs = max(worst_abs, abs(with_s - without))
+        print(f"  {name:<9} {with_s:7.2f}  {without:8.2f}")
+    print(f"  max change: {worst_abs:.2f} C (paper: 'less than 1%')")
+
+    assert result.oil_max_error_c > 10.0
+    assert worst_abs < 1.0
+    worst_rel = max(
+        abs(result.air_with_secondary[n] - result.air_without_secondary[n])
+        / result.air_without_secondary[n]
+        for n in result.air_with_secondary
+    )
+    assert worst_rel < 0.01

@@ -1,0 +1,35 @@
+"""Bench: paper Fig. 6 -- warm-up transients, OIL-SILICON vs AIR-SINK.
+
+Regenerates the hot-block / coolest-block warm-up curves (2 W/mm^2 on
+one block, both packages at Rconv = 1.0 K/W) and checks the paper's
+observations: oil warms to steady much faster, the oil hot spot is far
+hotter at steady state, the oil cool block cooler, the averages close,
+and AIR-SINK shows the instant initial jump.
+"""
+
+from repro.experiments import run_fig06
+
+
+def test_bench_fig06(benchmark):
+    result = benchmark.pedantic(run_fig06, rounds=1, iterations=1)
+
+    print("\nFig. 6 -- warm-up transients (temperatures in C)")
+    print("  time(s)  oil_hot  air_hot  oil_cool  air_cool")
+    stride = max(1, len(result.times) // 12)
+    for i in range(0, len(result.times), stride):
+        print(f"  {result.times[i]:7.2f}  {result.oil_hot[i]:7.1f}  "
+              f"{result.air_hot[i]:7.1f}  {result.oil_cool[i]:8.1f}  "
+              f"{result.air_cool[i]:8.1f}")
+    print(f"  steady hot:  oil {result.oil_hot_steady:.1f} vs air "
+          f"{result.air_hot_steady:.1f} (paper: 137 vs 63)")
+    print(f"  steady cool: oil {result.oil_cool_steady:.1f} vs air "
+          f"{result.air_cool_steady:.1f} (paper: 42 vs 55)")
+    print(f"  steady avg:  oil {result.oil_average_steady:.1f} vs air "
+          f"{result.air_average_steady:.1f} (paper: 62 vs 56)")
+
+    assert result.fraction_of_steady_at_end("oil") > 0.95
+    assert result.fraction_of_steady_at_end("air") < 0.85
+    assert result.air_initial_jump_fraction(0.1) > 0.6
+    assert result.oil_hot_steady > result.air_hot_steady + 15.0
+    assert result.oil_cool_steady < result.air_cool_steady
+    assert abs(result.oil_average_steady - result.air_average_steady) < 8.0

@@ -1,0 +1,36 @@
+"""Bench: paper Fig. 7 -- lumped-circuit time constants (Eqns 5-6).
+
+Regenerates the analytic constants of the two equivalent circuits and
+cross-checks them against constants fitted from the full grid model's
+step responses.
+"""
+
+import pytest
+
+from repro.experiments import run_fig07
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark.pedantic(run_fig07, rounds=1, iterations=1)
+
+    print("\nFig. 7 -- equivalent-circuit time constants")
+    print(f"  R_Si   = {result.r_si:.4f} K/W (paper: 0.0125)")
+    print(f"  Rconv  = {result.rconv:.3f} K/W (paper: 1.042)")
+    print(f"  Rconv / R_Si = {result.resistance_ratio:.0f}x "
+          f"(paper: ~83x, 'two orders of magnitude')")
+    print(f"  tau_short,sink (Eqn 5) = "
+          f"{1e3 * result.tau_short_air_analytic:.1f} ms")
+    print(f"  tau_oil (Eqn 6)        = {result.tau_oil_analytic:.2f} s "
+          f"(fitted from model: {result.tau_oil_fitted:.2f} s)")
+    print(f"  tau_long,sink          = {result.tau_long_air_analytic:.0f} s "
+          f"(fitted from model: {result.tau_long_air_fitted:.0f} s)")
+
+    assert result.r_si == pytest.approx(0.0125, rel=0.01)
+    assert result.oil_agreement < 0.15
+    assert result.tau_long_air_fitted == pytest.approx(
+        result.tau_long_air_analytic, rel=0.35
+    )
+    assert result.resistance_ratio > 50
+    # the separation that drives every short-term conclusion:
+    assert result.tau_oil_analytic > 20 * result.tau_short_air_analytic
+    assert result.tau_long_air_analytic > 50 * result.tau_oil_analytic

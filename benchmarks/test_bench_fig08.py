@@ -1,0 +1,36 @@
+"""Bench: paper Fig. 8 -- short-term oscillation around steady state.
+
+Regenerates the 15 ms-on / 85 ms-off pulse response for both packages,
+starting from the average-power steady state, and checks the paper's
+observations: OIL-SILICON cools much more slowly, its heat-up looks
+near-linear, and its heat-up/cool-down are asymmetric.
+"""
+
+from repro.experiments import run_fig08
+
+
+def test_bench_fig08(benchmark):
+    result = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+
+    print("\nFig. 8 -- 15 ms on / 85 ms off pulse (hot-block rise, K)")
+    print("  time(ms)   oil     air")
+    stride = max(1, len(result.times) // 15)
+    for i in range(0, len(result.times), stride):
+        print(f"  {1e3 * result.times[i]:7.1f}  {result.oil_trace[i]:6.2f}  "
+              f"{result.air_trace[i]:6.2f}")
+    oil_rec = result.recovery_fraction(result.oil_trace)
+    air_rec = result.recovery_fraction(result.air_trace)
+    print(f"  swing: oil {result.oil_swing:.1f} K, air "
+          f"{result.air_swing:.1f} K")
+    print(f"  recovered 15 ms after peak: oil {100 * oil_rec:.0f}%, "
+          f"air {100 * air_rec:.0f}% (paper: oil takes much longer)")
+    print(f"  heat-up linearity R^2: oil "
+          f"{result.heatup_linearity(result.oil_trace):.3f}, air "
+          f"{result.heatup_linearity(result.air_trace):.3f}")
+
+    assert air_rec - oil_rec > 0.15
+    assert oil_rec < 0.6
+    assert result.heatup_linearity(result.oil_trace) > \
+        result.heatup_linearity(result.air_trace)
+    # comparable swing magnitudes (same power, same Rconv)
+    assert 0.3 < result.oil_swing / result.air_swing < 3.0

@@ -1,0 +1,26 @@
+"""Bench: paper Fig. 9 -- transient hot-spot migration.
+
+Regenerates the IntReg -> FPMap power hand-off: 2 W on IntReg for
+10 ms, then 2 W on FPMap.  At 14 ms the AIR-SINK hot spot has migrated
+to FPMap while OIL-SILICON's is still IntReg.
+"""
+
+from repro.experiments import run_fig09
+
+
+def test_bench_fig09(benchmark):
+    result = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+
+    print("\nFig. 9 -- temperature rises after the 10 ms power switch (K)")
+    print("  time(ms)  air:IntReg  air:FPMap  oil:IntReg  oil:FPMap")
+    stride = max(1, len(result.times) // 16)
+    for i in range(0, len(result.times), stride):
+        print(f"  {1e3 * result.times[i]:7.1f}  "
+              f"{result.air_intreg[i]:10.2f}  {result.air_fpmap[i]:9.2f}  "
+              f"{result.oil_intreg[i]:10.2f}  {result.oil_fpmap[i]:9.2f}")
+    print(f"  hottest at 14 ms: AIR-SINK -> {result.air_hottest_at_observation}"
+          f" (paper: FPMap), OIL-SILICON -> "
+          f"{result.oil_hottest_at_observation} (paper: IntReg)")
+
+    assert result.air_hottest_at_observation == "FPMap"
+    assert result.oil_hottest_at_observation == "IntReg"

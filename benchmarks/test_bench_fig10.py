@@ -1,0 +1,36 @@
+"""Bench: paper Fig. 10 -- steady EV6 thermal maps for gcc.
+
+Regenerates both steady-state maps (OIL-SILICON and AIR-SINK at the
+same overall Rconv) and their Tmax / across-die dT statistics.  The
+paper reports the oil map roughly 30 C hotter at the peak with roughly
+55 C more across-die spread; the reproduction preserves the direction
+and the strong dT contrast (see EXPERIMENTS.md for the magnitudes).
+"""
+
+from repro.analysis import block_ranking
+from repro.experiments import run_fig10
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+
+    print("\nFig. 10 -- EV6/gcc steady maps (C)")
+    print(f"  OIL-SILICON: Tmax {result.oil_stats.t_max:.1f}  "
+          f"Tmin {result.oil_stats.t_min:.1f}  dT {result.oil_stats.dt:.1f}")
+    print(f"  AIR-SINK:    Tmax {result.air_stats.t_max:.1f}  "
+          f"Tmin {result.air_stats.t_min:.1f}  dT {result.air_stats.dt:.1f}")
+    print(f"  Tmax difference: {result.tmax_difference:.1f} C (paper: ~30)")
+    print(f"  dT difference:   {result.gradient_difference:.1f} C (paper: ~55)")
+    print("  five hottest blocks:")
+    for (oil_name, oil_t), (air_name, air_t) in zip(
+        block_ranking(result.oil_blocks_c)[:5],
+        block_ranking(result.air_blocks_c)[:5],
+    ):
+        print(f"    oil {oil_name:<8} {oil_t:6.1f}   "
+              f"air {air_name:<8} {air_t:6.1f}")
+
+    assert result.tmax_difference > 5.0
+    assert result.gradient_difference > 15.0
+    assert result.oil_stats.dt > 2.0 * result.air_stats.dt
+    # same workload, same Rconv: chip means stay comparable
+    assert abs(result.oil_stats.t_mean - result.air_stats.t_mean) < 10.0

@@ -1,0 +1,39 @@
+"""Bench: paper Fig. 11 -- THE TABLE: four oil flow directions.
+
+Regenerates the 18-unit x 4-direction steady-temperature table and
+checks the headline result: the hottest unit is IntReg for three
+directions but switches to Dcache when the oil flows top-to-bottom
+(IntReg sits at the leading edge and is cooled best).
+"""
+
+from repro.convection.flow import ALL_DIRECTIONS, FlowDirection
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    print("\nFig. 11 -- EV6 steady temperatures (C), four oil directions")
+    for row in result.table_rows():
+        print("  " + "".join(f"{cell:>15}" for cell in row))
+    for direction in ALL_DIRECTIONS:
+        print(f"  hottest [{direction.value:>14}]: "
+              f"{result.hottest(direction)}")
+
+    for direction in (
+        FlowDirection.LEFT_TO_RIGHT,
+        FlowDirection.RIGHT_TO_LEFT,
+        FlowDirection.BOTTOM_TO_TOP,
+    ):
+        assert result.hottest(direction) == "IntReg"
+    assert result.hottest(FlowDirection.TOP_TO_BOTTOM) == "Dcache"
+
+    # direction moves unit temperatures by tens of degrees (paper:
+    # IntReg spans 104.9 -> 112.4 -> 67.9 across directions)
+    assert result.direction_span("IntReg") > 10.0
+    # upstream cooling: with bottom-to-top flow the bottom L2 slab is
+    # at the leading edge for the whole-die flow, and IntReg (top edge)
+    # is hottest of all directions there
+    temps_btt = result.temps_c[FlowDirection.BOTTOM_TO_TOP]
+    temps_ttb = result.temps_c[FlowDirection.TOP_TO_BOTTOM]
+    assert temps_btt["IntReg"] > temps_ttb["IntReg"] + 10.0

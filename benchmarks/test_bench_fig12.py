@@ -1,0 +1,57 @@
+"""Bench: paper Fig. 12 -- EV6/gcc temperature traces, both packages.
+
+Regenerates the trace-driven experiment: simulator power samples drive
+the thermal model with Rconv = 0.3 K/W and 45 C ambient for both
+packages; the five hottest blocks are reported, along with the
+Section 5.2 sensor-sampling-interval analysis.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig12
+from repro.floorplan import ev6_floorplan
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+
+    print("\nFig. 12 -- EV6/gcc traces, Rconv = 0.3 K/W, ambient 45 C")
+    print(f"  hottest five (air): {result.hottest_five_air}")
+    print(f"  hottest five (oil): {result.hottest_five_oil}")
+    names = result.hottest_five_air[:3]
+    print("  time(ms)  " + "  ".join(f"air:{n:<7}" for n in names)
+          + "  " + "  ".join(f"oil:{n:<7}" for n in names))
+    stride = max(1, len(result.times) // 15)
+    for i in range(0, len(result.times), stride):
+        air_vals = "  ".join(
+            f"{result.block_series('air', n)[i]:11.1f}" for n in names
+        )
+        oil_vals = "  ".join(
+            f"{result.block_series('oil', n)[i]:11.1f}" for n in names
+        )
+        print(f"  {1e3 * result.times[i]:7.2f} {air_vals} {oil_vals}")
+
+    plan = ev6_floorplan()
+    air_avg = result.average_trace("air", plan.areas())
+    oil_avg = result.average_trace("oil", plan.areas())
+    print(f"  cross-die averages: air {air_avg.mean():.1f} C, "
+          f"oil {oil_avg.mean():.1f} C (paper: 'about the same')")
+    for which in ("air", "oil"):
+        interval = result.sampling_interval_for(which, "IntReg", 0.1)
+        print(f"  required sensor sampling ({which}): "
+              f"{1e6 * interval:.0f} us for 0.1 C (paper: ~60 us)")
+
+    assert {"IntReg", "Dcache", "IntExec"} <= set(result.hottest_five_air)
+    assert {"IntReg", "Dcache", "IntExec"} <= set(result.hottest_five_oil)
+    air_ir = result.block_series("air", "IntReg")
+    oil_ir = result.block_series("oil", "IntReg")
+    # oil hotter for the same power and Rconv; averages close
+    assert oil_ir.mean() > air_ir.mean()
+    assert abs(air_avg.mean() - oil_avg.mean()) < 10.0
+    # sampling interval in the tens-of-microseconds regime, both packages
+    for which in ("air", "oil"):
+        interval = result.sampling_interval_for(which, "IntReg", 0.1)
+        assert 5e-6 < interval < 500e-6
+    # AIR-SINK tracks the power phases faster -> larger fast swings;
+    # OIL-SILICON smooths them (its short-term constant is far longer)
+    assert air_ir.std() > oil_ir.std()

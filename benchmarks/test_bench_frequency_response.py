@@ -1,0 +1,64 @@
+"""Bench: thermal frequency response of the two packages.
+
+The Bode view of the paper's Section 4.1/5.1 time-constant analysis:
+the transfer function from IntReg's power to IntReg's temperature has
+its corner two orders of magnitude lower under OIL-SILICON than under
+AIR-SINK, which is why millisecond activity shows up in air-cooled
+temperature traces (Fig. 12(a)) but is smoothed away by the oil bench
+(Fig. 12(b)) -- and why the IR camera's limited frame rate loses less
+information about the oil-cooled die than it would about the real one.
+"""
+
+import numpy as np
+
+from repro.analysis import block_transfer_function
+from repro.experiments.common import celsius
+from repro.floorplan import ev6_floorplan
+from repro.package import air_sink_package, oil_silicon_package
+from repro.rcmodel import ThermalGridModel
+
+
+def run_bode(nx=16, ny=16):
+    plan = ev6_floorplan()
+    freqs = np.logspace(-2, 4, 49)
+    responses = {}
+    for tag, config in (
+        ("oil", oil_silicon_package(
+            plan.die_width, plan.die_height, uniform_h=True,
+            target_resistance=1.0, include_secondary=False,
+            ambient=celsius(45.0),
+        )),
+        ("air", air_sink_package(
+            plan.die_width, plan.die_height, convection_resistance=1.0,
+            ambient=celsius(45.0),
+        )),
+    ):
+        model = ThermalGridModel(plan, config, nx=nx, ny=ny)
+        responses[tag] = block_transfer_function(model, "IntReg", freqs)
+    return freqs, responses
+
+
+def test_bench_frequency_response(benchmark):
+    freqs, responses = benchmark.pedantic(run_bode, rounds=1, iterations=1)
+
+    print("\nIntReg self-heating transfer function |H| (K/W)")
+    print("  freq(Hz)      OIL      AIR")
+    for i in range(0, len(freqs), 6):
+        print(f"  {freqs[i]:8.2f}  {responses['oil'].magnitude[i]:7.3f}  "
+              f"{responses['air'].magnitude[i]:7.3f}")
+    oil_corner = responses["oil"].corner_frequency()
+    air_corner = responses["air"].corner_frequency()
+    print(f"  -3 dB corners: oil {oil_corner:.2f} Hz, air "
+          f"{air_corner:.2f} Hz ({air_corner / oil_corner:.0f}x apart)")
+    for f in (10.0, 100.0, 1000.0):
+        print(f"  retained at {f:6.0f} Hz: oil "
+              f"{100 * responses['oil'].attenuation_at(f):5.1f}%  air "
+              f"{100 * responses['air'].attenuation_at(f):5.1f}%")
+
+    # the paper's separation of short-term time constants, as corners
+    assert air_corner > 5.0 * oil_corner
+    # at DC, oil's local resistance exceeds air's (no copper spreading)
+    assert responses["oil"].dc_resistance > responses["air"].dc_resistance
+    # at 100 Hz (10 ms activity) air passes proportionally more
+    assert responses["air"].attenuation_at(100.0) > \
+        responses["oil"].attenuation_at(100.0)

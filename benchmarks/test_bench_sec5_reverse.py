@@ -1,0 +1,101 @@
+"""Bench: paper Section 5.4 -- flow direction, sensor placement, and
+temperature-to-power reverse engineering.
+
+Two effects are reproduced:
+
+1. **Misplaced sensors.**  A sensor placed at the hot spot of the
+   top-to-bottom OIL-SILICON map (Dcache) misses the real hot spot of
+   the same chip under AIR-SINK (IntReg) -- "this placement could lead
+   to missing the actual hot spot and thus a thermal emergency".
+
+2. **Inflated reverse-engineered power.**  A multi-core die with
+   identical per-core power measured under left-to-right oil reads
+   hotter downstream; inverting the map with a model that ignores the
+   flow direction inflates the inferred power of the downstream cores.
+"""
+
+import numpy as np
+
+from repro.analysis import reverse_engineer_power
+from repro.convection.flow import FlowDirection
+from repro.experiments import run_fig10, run_fig11
+from repro.experiments.common import celsius
+from repro.floorplan import GridMapping, ev6_floorplan, multicore_floorplan
+from repro.package import oil_silicon_package
+from repro.rcmodel import ThermalGridModel
+from repro.sensors import place_at_hotspot, placement_error
+from repro.solver import steady_state
+
+
+def run_placement_experiment():
+    fig11 = run_fig11(nx=24, ny=24)
+    fig10 = run_fig10(nx=24, ny=24)
+    plan = ev6_floorplan()
+    mapping = GridMapping(plan, nx=24, ny=24)
+    # Sensor placed where the top-to-bottom oil measurement says the
+    # hot spot is...
+    ttb = fig11.temps_c[FlowDirection.TOP_TO_BOTTOM]
+    hottest_under_oil = max(ttb, key=ttb.get)
+    # ...evaluated on the AIR-SINK map of the same workload.
+    air_cells = fig10.air_map_c.ravel()
+    block = plan[hottest_under_oil]
+    sensor_cell = mapping.cell_index(*block.center)
+    missed = air_cells.max() - air_cells[sensor_cell]
+    air_hottest = max(fig10.air_blocks_c, key=fig10.air_blocks_c.get)
+    return hottest_under_oil, air_hottest, missed
+
+
+def run_reverse_power_experiment():
+    plan = multicore_floorplan(4, 1, 4e-3, 4e-3)
+    kwargs = dict(include_secondary=False, ambient=celsius(45.0))
+    measured_config = oil_silicon_package(
+        plan.die_width, plan.die_height,
+        direction=FlowDirection.LEFT_TO_RIGHT, uniform_h=False, **kwargs
+    )
+    assumed_config = oil_silicon_package(
+        plan.die_width, plan.die_height, uniform_h=True, **kwargs
+    )
+    measured_model = ThermalGridModel(plan, measured_config, nx=32, ny=8)
+    assumed_model = ThermalGridModel(plan, assumed_config, nx=32, ny=8)
+    true_power = np.full(4, 5.0)
+    rise = steady_state(
+        measured_model.network, measured_model.node_power(true_power)
+    )
+    measured_blocks = measured_model.block_rise(rise)
+    estimated = reverse_engineer_power(measured_blocks, assumed_model)
+    return true_power, measured_blocks, estimated
+
+
+def test_bench_sec5_sensor_placement(benchmark):
+    oil_spot, air_spot, missed = benchmark.pedantic(
+        run_placement_experiment, rounds=1, iterations=1
+    )
+    print("\nSection 5.4 -- sensor placement from an IR (oil) map")
+    print(f"  hot spot under top-to-bottom oil: {oil_spot} (paper: Dcache)")
+    print(f"  real hot spot under AIR-SINK:     {air_spot} (paper: IntReg)")
+    print(f"  hot-spot temperature missed by the oil-guided sensor: "
+          f"{missed:.1f} C")
+    # the oil-guided placement sits at the wrong block entirely and
+    # under-reads the real AIR-SINK hot spot
+    assert oil_spot == "Dcache"
+    assert air_spot == "IntReg"
+    assert missed > 1.0
+
+
+def test_bench_sec5_reverse_power(benchmark):
+    true_power, measured, estimated = benchmark.pedantic(
+        run_reverse_power_experiment, rounds=1, iterations=1
+    )
+    print("\nSection 5.4 -- reverse-engineered core power, L->R oil flow")
+    print("  core   true(W)   T rise(K)   estimated(W)")
+    for i in range(4):
+        print(f"  {i:>4}   {true_power[i]:6.1f}   {measured[i]:9.1f}   "
+              f"{estimated[i]:11.2f}")
+
+    # downstream cores read hotter...
+    assert measured[-1] > measured[0]
+    # ...so a direction-blind inversion inflates their power
+    assert estimated[-1] > estimated[0] * 1.05
+    # while total power stays roughly conserved (the inversion
+    # redistributes, it does not invent watts)
+    assert abs(estimated.sum() - true_power.sum()) < 0.25 * true_power.sum()

@@ -1,0 +1,50 @@
+"""Bench: paper Section 5.3 -- thermal sensing granularity.
+
+OIL-SILICON's steeper across-die gradients mean a sensor displaced from
+the hot spot under-reads by more, so (a) the error-vs-offset curve is
+steeper under oil and (b) more sensors are needed to bound the hot-spot
+error -- "if the on-chip thermal sensor placement is determined based
+on IR thermal measurements, more sensors than necessary may be
+deployed".
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig10
+from repro.floorplan import GridMapping, ev6_floorplan
+from repro.sensors import error_vs_offset, sensors_needed_for_error_bound
+
+
+def run_experiment():
+    result = run_fig10(nx=32, ny=32)
+    plan = ev6_floorplan()
+    mapping = GridMapping(plan, nx=32, ny=32)
+    offsets = np.array([0.5e-3, 1e-3, 2e-3, 4e-3])
+    oil_cells = result.oil_map_c.ravel()
+    air_cells = result.air_map_c.ravel()
+    oil_errors = error_vs_offset(mapping, oil_cells, offsets)
+    air_errors = error_vs_offset(mapping, air_cells, offsets)
+    bound = 10.0  # Kelvin hot-spot underestimate budget
+    oil_sensors = sensors_needed_for_error_bound(mapping, oil_cells, bound)
+    air_sensors = sensors_needed_for_error_bound(mapping, air_cells, bound)
+    return offsets, oil_errors, air_errors, oil_sensors, air_sensors
+
+
+def test_bench_sec5_sensor_granularity(benchmark):
+    offsets, oil_errors, air_errors, oil_sensors, air_sensors = \
+        benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print("\nSection 5.3 -- sensor error vs displacement from hot spot")
+    print("  offset(mm)  oil error(C)  air error(C)")
+    for off, oil_e, air_e in zip(offsets, oil_errors, air_errors):
+        print(f"  {1e3 * off:9.1f}  {oil_e:12.1f}  {air_e:12.1f}")
+    print(f"  sensors needed for <=10 C hot-spot error: "
+          f"oil {oil_sensors}, air {air_sensors}")
+
+    # steeper map -> bigger error at every displacement
+    valid = ~np.isnan(oil_errors)
+    assert np.all(oil_errors[valid] >= air_errors[valid] - 1e-9)
+    assert oil_errors[valid][-1] > 1.4 * air_errors[valid][-1]
+    # and more sensors for the same error budget
+    assert oil_sensors >= air_sensors
+    assert oil_sensors > 1

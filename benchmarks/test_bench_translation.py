@@ -1,0 +1,89 @@
+"""Bench: the paper's future-work experiment -- translating oil-bench
+measurements into air-cooled predictions.
+
+Section 6 proposes "ascertain[ing] the thermal response of a chip with
+air-cooled heatsink based on the IR measurements from an oil-cooled
+bare silicon die" and warns that leakage's temperature dependence
+complicates it.  This bench runs the full pipeline on the EV6/gcc
+setup and quantifies both the achievable accuracy and the size of the
+leakage complication.
+"""
+
+import numpy as np
+
+from repro.analysis import translate_measurement, translation_error
+from repro.experiments.common import celsius, gcc_average_power
+from repro.floorplan import ev6_floorplan
+from repro.package import air_sink_package, oil_silicon_package
+from repro.rcmodel import ThermalBlockModel
+from repro.solver import steady_state_with_leakage
+
+
+def run_translation():
+    plan = ev6_floorplan()
+    ambient = celsius(45.0)
+    oil = ThermalBlockModel(
+        plan,
+        oil_silicon_package(
+            plan.die_width, plan.die_height, uniform_h=True,
+            include_secondary=False, ambient=ambient,
+        ),
+    )
+    air = ThermalBlockModel(
+        plan,
+        air_sink_package(
+            plan.die_width, plan.die_height, convection_resistance=1.0,
+            ambient=ambient,
+        ),
+    )
+    areas = plan.areas()
+
+    def leakage(block_temps):
+        return 1e4 * areas * np.exp(
+            0.02 * (np.asarray(block_temps) - ambient)
+        )
+
+    dynamic = plan.power_vector(gcc_average_power())
+    oil_truth = steady_state_with_leakage(oil, dynamic, leakage)
+    air_truth = steady_state_with_leakage(air, dynamic, leakage)
+    result = translate_measurement(
+        oil_truth.block_temps, oil, air, leakage=leakage
+    )
+    return plan, oil_truth, air_truth, result
+
+
+def test_bench_translation(benchmark):
+    plan, oil_truth, air_truth, result = benchmark.pedantic(
+        run_translation, rounds=1, iterations=1
+    )
+
+    err_naive = translation_error(result.naive_temps, air_truth.block_temps)
+    err_corrected = translation_error(
+        result.corrected_temps, air_truth.block_temps
+    )
+    print("\nFuture work (Sec. 6) -- oil-bench measurement -> air-cooled "
+          "prediction")
+    print(f"  {'unit':<9} {'oil meas':>9} {'air truth':>10} "
+          f"{'naive':>8} {'corrected':>10}  (C)")
+    for i, name in enumerate(plan.names):
+        print(f"  {name:<9} {oil_truth.block_temps[i] - 273.15:9.1f} "
+              f"{air_truth.block_temps[i] - 273.15:10.1f} "
+              f"{result.naive_temps[i] - 273.15:8.1f} "
+              f"{result.corrected_temps[i] - 273.15:10.1f}")
+    print(f"  max error: naive {err_naive:.2f} K, leakage-aware "
+          f"{err_corrected:.2f} K")
+    print(f"  leakage at oil temps "
+          f"{result.inferred_total_power.sum() - result.inferred_dynamic_power.sum():.1f} W "
+          f"vs at air temps "
+          f"{air_truth.total_leakage:.1f} W -- the paper's anticipated "
+          f"complication")
+
+    # the translation works, and closing the leakage loop matters
+    assert err_corrected < err_naive
+    assert err_corrected < 1.0
+    assert err_naive > 0.3  # the complication is visible, not noise
+    # total power is recovered from the measurement
+    total_true = (oil_truth.leakage.sum()
+                  + result.inferred_dynamic_power.sum())
+    assert abs(result.inferred_total_power.sum() - total_true) \
+        < 0.05 * total_true

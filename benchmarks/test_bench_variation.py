@@ -1,0 +1,68 @@
+"""Bench: variation-aware characterization under both packages.
+
+Section 2.3 of the paper points at variation-aware thermal
+characterization (Kursun & Cher) as a consumer of IR measurements.
+This bench Monte-Carlo-samples a +/-15% per-block power variation and
+compares the temperature spreads and guard-bands the two cooling
+configurations produce: the oil bench's poor spreading widens the
+apparent die-to-die thermal distribution, so guard-bands derived on
+the bench are systematically larger than the real package needs.
+"""
+
+import numpy as np
+
+from repro.analysis import power_variation_study
+from repro.experiments.common import celsius, gcc_average_power
+from repro.floorplan import ev6_floorplan
+from repro.package import air_sink_package, oil_silicon_package
+from repro.rcmodel import ThermalBlockModel
+
+
+def run_study(n_samples=300):
+    plan = ev6_floorplan()
+    powers = gcc_average_power()
+    results = {}
+    for tag, config in (
+        ("oil", oil_silicon_package(
+            plan.die_width, plan.die_height, uniform_h=True,
+            target_resistance=1.0, include_secondary=False,
+            ambient=celsius(45.0),
+        )),
+        ("air", air_sink_package(
+            plan.die_width, plan.die_height, convection_resistance=1.0,
+            ambient=celsius(45.0),
+        )),
+    ):
+        model = ThermalBlockModel(plan, config)
+        results[tag] = power_variation_study(
+            model, powers, sigma_fraction=0.15, n_samples=n_samples,
+            seed=7,
+        )
+    return plan, results
+
+
+def test_bench_variation(benchmark):
+    plan, results = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    hot = plan.index_of("IntReg")
+    print("\nPower variation study: 15% sigma, 300 sampled dies")
+    print(f"  {'':<5} {'IntReg mean(C)':>15} {'sigma(K)':>9} "
+          f"{'99% guard-band(K)':>18}")
+    for tag, study in results.items():
+        print(f"  {tag:<5} {study.mean[hot] - 273.15:15.1f} "
+              f"{study.std[hot]:9.2f} {study.guard_band()[hot]:18.2f}")
+    for tag, study in results.items():
+        dist = study.hotspot_distribution()
+        top = sorted(dist.items(), key=lambda kv: -kv[1])[:3]
+        print(f"  hottest-block distribution [{tag}]: "
+              + ", ".join(f"{n} {100 * p:.0f}%" for n, p in top))
+
+    oil, air = results["oil"], results["air"]
+    # the bench inflates both the spread and the guard-band
+    assert oil.std[hot] > air.std[hot]
+    assert oil.guard_band()[hot] > air.guard_band()[hot]
+    # IntReg stays the modal hot spot in both
+    assert max(oil.hotspot_distribution(),
+               key=oil.hotspot_distribution().get) == "IntReg"
+    assert max(air.hotspot_distribution(),
+               key=air.hotspot_distribution().get) == "IntReg"

@@ -1,0 +1,78 @@
+"""EV6/gcc thermal study: the paper's Figs. 10-12 in one script.
+
+Simulates a gcc-like workload on the EV6-style core with the built-in
+microarchitecture activity simulator, then:
+
+1. solves the steady thermal maps under both packages and renders them
+   as ASCII heat maps (Fig. 10),
+2. sweeps the four oil flow directions and prints the Fig. 11 table,
+   showing the hottest unit switching from IntReg to Dcache for a
+   top-to-bottom flow,
+3. drives a 40 ms trace-based transient under both packages at
+   Rconv = 0.3 K/W (Fig. 12) and reports the sensor-sampling bound.
+
+Run:  python examples/ev6_gcc_thermal_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_ascii_map
+from repro.convection.flow import ALL_DIRECTIONS
+from repro.experiments import run_fig10, run_fig11, run_fig12
+from repro.experiments.fig11 import DIRECTION_LABELS
+from repro.floorplan import ev6_floorplan
+from repro.microarch import MicroarchSimulator, gcc_like_workload
+
+
+def ascii_map(matrix: np.ndarray, title: str) -> None:
+    print()
+    print(render_ascii_map(matrix, title=title))
+
+
+def main() -> None:
+    plan = ev6_floorplan()
+
+    print("=== microarchitecture simulation (gcc-like workload) ===")
+    simulator = MicroarchSimulator(plan)
+    trace = simulator.run(gcc_like_workload(instructions=500_000))
+    summary = simulator.last_summary
+    print(f"  IPC {summary.ipc:.2f}, branch mispredict "
+          f"{100 * summary.branch_misprediction_rate:.1f}%, "
+          f"L1D miss {100 * summary.l1d_miss_rate:.1f}%, "
+          f"L2 miss {100 * summary.l2_miss_rate:.1f}%")
+    avg = trace.average()
+    print(f"  total average power {avg.sum():.1f} W; hottest density: "
+          f"IntReg {avg[plan.index_of('IntReg')] / plan['IntReg'].area / 1e6:.2f} "
+          f"W/mm^2")
+
+    print("\n=== Fig. 10: steady maps under both packages ===")
+    fig10 = run_fig10(nx=32, ny=32)
+    ascii_map(fig10.oil_map_c, "OIL-SILICON")
+    ascii_map(fig10.air_map_c, "AIR-SINK")
+    print(f"\n  Tmax: oil {fig10.oil_stats.t_max:.1f} C vs air "
+          f"{fig10.air_stats.t_max:.1f} C")
+    print(f"  dT:   oil {fig10.oil_stats.dt:.1f} C vs air "
+          f"{fig10.air_stats.dt:.1f} C")
+
+    print("\n=== Fig. 11: oil flow direction sweep ===")
+    fig11 = run_fig11(nx=32, ny=32)
+    for row in fig11.table_rows():
+        print("  " + "".join(f"{cell:>15}" for cell in row))
+    for direction in ALL_DIRECTIONS:
+        print(f"  hottest [{DIRECTION_LABELS[direction]:>14}]: "
+              f"{fig11.hottest(direction)}")
+
+    print("\n=== Fig. 12: trace-driven transients, Rconv = 0.3 K/W ===")
+    fig12 = run_fig12(duration=0.04, nx=24, ny=24)
+    print(f"  hottest five (air): {fig12.hottest_five_air}")
+    print(f"  hottest five (oil): {fig12.hottest_five_oil}")
+    for which in ("air", "oil"):
+        series = fig12.block_series(which, "IntReg")
+        interval = fig12.sampling_interval_for(which, "IntReg", 0.1)
+        print(f"  {which}: IntReg mean {series.mean():.1f} C, swing "
+              f"{series.max() - series.min():.1f} C, sensor sampling "
+              f"<= {1e6 * interval:.0f} us for 0.1 C resolution")
+
+
+if __name__ == "__main__":
+    main()

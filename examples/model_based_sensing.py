@@ -1,0 +1,89 @@
+"""Model-based thermal sensing: the paper's recommended synthesis.
+
+Section 5.4 ends with: "We think a proper way is to combine IR and
+sensor measurements and thermal modeling to achieve a better thermal
+design."  This script demonstrates that synthesis end to end on the
+EV6 under oil:
+
+1. place a handful of sensors (deliberately none on IntReg, the real
+   hot spot);
+2. show that raw sensor readings miss the hot spot badly;
+3. feed the same readings plus the thermal model into the
+   model-based estimator and recover the full map, hot spot included;
+4. show the estimator also recovering the per-block *power* map --
+   the same inversion IR power-mapping studies perform, now from a few
+   on-die sensors instead of a camera.
+
+Run:  python examples/model_based_sensing.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_ascii_map
+from repro.experiments.common import celsius, gcc_average_power
+from repro.floorplan import ev6_floorplan
+from repro.package import oil_silicon_package
+from repro.rcmodel import ThermalGridModel
+from repro.sensors import ModelBasedEstimator, place_at_block
+from repro.solver import steady_state
+
+
+def main() -> None:
+    plan = ev6_floorplan()
+    config = oil_silicon_package(
+        plan.die_width, plan.die_height, uniform_h=True,
+        target_resistance=1.0, include_secondary=False,
+        ambient=celsius(45.0),
+    )
+    model = ThermalGridModel(plan, config, nx=24, ny=24)
+    true_power = plan.power_vector(gcc_average_power())
+
+    # ground truth the sensors will sample
+    state = steady_state(model.network, model.node_power(true_power))
+    true_cells = model.silicon_cell_rise(state)
+    print(render_ascii_map(
+        model.mapping.as_grid(true_cells), title="true map (rise, K)"
+    ))
+
+    # sensors everywhere EXCEPT the hot integer core
+    sensor_blocks = ("L2", "L2_left", "L2_right", "Icache", "Dcache",
+                     "FPMap", "IntMap", "Bpred")
+    sensors = [place_at_block(plan, name) for name in sensor_blocks]
+    readings = np.array([
+        true_cells[s.cell_index(model.mapping)] for s in sensors
+    ])
+    print(f"\nsensors at: {', '.join(sensor_blocks)}")
+    print(f"hottest raw reading: {readings.max():.1f} K at "
+          f"{sensor_blocks[int(np.argmax(readings))]}")
+    print(f"true hot spot:       {true_cells.max():.1f} K (IntReg) -- "
+          f"{true_cells.max() - readings.max():.1f} K unseen by sensors")
+
+    # model-based reconstruction (design-time power map as the prior)
+    estimator = ModelBasedEstimator(model, sensors, regularization=0.02)
+    estimate = estimator.estimate(readings, prior_power=0.5 * true_power)
+    print("\nreconstructed map from 8 sensors + the model:")
+    print(render_ascii_map(
+        model.mapping.as_grid(estimate.cell_rise),
+        title="reconstructed (rise, K)",
+    ))
+    print(f"reconstructed hot spot: {estimate.cell_rise.max():.1f} K at "
+          f"{plan.names[estimate.hottest_block]}")
+    print(f"hot-spot magnitude error: "
+          f"{estimator.hotspot_error(state, estimate):+.1f} K "
+          f"(vs {true_cells.max() - readings.max():.1f} K if trusting "
+          f"sensors alone)")
+    print("note: with no sensor near the integer core, the estimator "
+          "recovers the\nhot-spot *magnitude* well but may attribute it "
+          "to a neighboring block --\nattribution sharpens as sensors "
+          "approach the region (Section 5.3's point\nin reverse).")
+
+    print("\ninferred vs true per-block power (W):")
+    print(f"  {'block':<9} {'true':>6} {'inferred':>9}")
+    order = np.argsort(true_power)[::-1][:6]
+    for i in order:
+        print(f"  {plan.names[i]:<9} {true_power[i]:6.2f} "
+              f"{estimate.power[i]:9.2f}")
+
+
+if __name__ == "__main__":
+    main()

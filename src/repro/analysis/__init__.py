@@ -1,0 +1,65 @@
+"""Analysis utilities: thermal-map statistics, time-constant extraction,
+and temperature-to-power reverse engineering."""
+
+from .thermal_maps import (
+    MapStatistics,
+    map_statistics,
+    hottest_block,
+    coolest_block,
+    block_ranking,
+    temperature_gradient_magnitude,
+)
+from .time_constants import (
+    fit_single_exponential,
+    rise_time,
+    settle_time,
+    dominant_time_constant,
+)
+from .reverse_power import (
+    reverse_engineer_power,
+    power_inflation_by_position,
+)
+from .translation import (
+    TranslationResult,
+    translate_measurement,
+    translation_error,
+)
+from .frequency import (
+    FrequencyResponse,
+    thermal_transfer_function,
+    block_transfer_function,
+)
+from .maps_io import (
+    render_ascii_map,
+    map_to_csv,
+    map_from_csv,
+    block_table,
+)
+from .variation import VariationStudy, power_variation_study
+
+__all__ = [
+    "MapStatistics",
+    "map_statistics",
+    "hottest_block",
+    "coolest_block",
+    "block_ranking",
+    "temperature_gradient_magnitude",
+    "fit_single_exponential",
+    "rise_time",
+    "settle_time",
+    "dominant_time_constant",
+    "reverse_engineer_power",
+    "power_inflation_by_position",
+    "TranslationResult",
+    "translate_measurement",
+    "translation_error",
+    "FrequencyResponse",
+    "thermal_transfer_function",
+    "block_transfer_function",
+    "render_ascii_map",
+    "map_to_csv",
+    "map_from_csv",
+    "block_table",
+    "VariationStudy",
+    "power_variation_study",
+]

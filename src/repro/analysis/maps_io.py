@@ -1,0 +1,118 @@
+"""Thermal-map rendering and interchange.
+
+Utilities for getting temperature maps out of the models and in front
+of people: ASCII heat maps for terminals (what the examples and the
+CLI ``render`` command use), CSV interchange for plotting tools, and
+aligned block-temperature tables for side-by-side package comparisons.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, IO, List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Density ramp used for ASCII rendering, coolest to hottest.
+ASCII_SHADES = " .:-=+*#%@"
+
+
+def render_ascii_map(
+    matrix: np.ndarray,
+    title: str = "",
+    shades: str = ASCII_SHADES,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a (ny, nx) temperature map as ASCII art.
+
+    Row 0 of the matrix is y = 0 (the die's bottom edge) and is printed
+    last, so the output is oriented like the paper's figures.  Fixing
+    ``vmin``/``vmax`` puts several maps on a shared color scale (the
+    paper's Fig. 10 caption warns its two maps are *not* on the same
+    scale -- pass explicit limits to do better).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ReproError("expected a 2-D map")
+    lo = matrix.min() if vmin is None else float(vmin)
+    hi = matrix.max() if vmax is None else float(vmax)
+    span = max(hi - lo, 1e-12)
+    lines: List[str] = []
+    if title:
+        lines.append(f"{title}  [{lo:.1f} .. {hi:.1f}]")
+    for row in matrix[::-1]:
+        scaled = np.clip((row - lo) / span, 0.0, 1.0)
+        indices = np.minimum(
+            (scaled * len(shades)).astype(int), len(shades) - 1
+        )
+        lines.append("".join(shades[i] for i in indices))
+    return "\n".join(lines)
+
+
+def map_to_csv(matrix: np.ndarray, stream: IO[str]) -> None:
+    """Write a (ny, nx) map as CSV (row 0 first, plain numbers)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ReproError("expected a 2-D map")
+    for row in matrix:
+        stream.write(",".join(f"{v:.6g}" for v in row) + "\n")
+
+
+def map_from_csv(stream: IO[str]) -> np.ndarray:
+    """Read a map written by :func:`map_to_csv`."""
+    rows: List[List[float]] = []
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append([float(v) for v in line.split(",")])
+        except ValueError as exc:
+            raise ReproError(f"CSV line {line_no}: non-numeric value") from exc
+    if not rows:
+        raise ReproError("empty CSV map")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise ReproError("ragged CSV map")
+    return np.asarray(rows)
+
+
+def block_table(
+    columns: Dict[str, Dict[str, float]],
+    sort_by: Optional[str] = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Aligned text table of per-block values across conditions.
+
+    ``columns`` maps column titles to {block: value} dicts sharing the
+    same keys; ``sort_by`` orders rows by one column, descending.
+    """
+    if not columns:
+        raise ReproError("need at least one column")
+    titles = list(columns)
+    blocks = list(next(iter(columns.values())))
+    for title, data in columns.items():
+        if set(data) != set(blocks):
+            raise ReproError(f"column {title!r} has different blocks")
+    if sort_by is not None:
+        if sort_by not in columns:
+            raise ReproError(f"unknown sort column {sort_by!r}")
+        blocks = sorted(
+            blocks, key=lambda b: columns[sort_by][b], reverse=True
+        )
+    name_width = max(len(b) for b in blocks + ["block"])
+    col_width = max(max(len(t) for t in titles), 8)
+    out = io.StringIO()
+    header = f"{'block':<{name_width}}" + "".join(
+        f" {t:>{col_width}}" for t in titles
+    )
+    out.write(header + "\n")
+    for block in blocks:
+        row = f"{block:<{name_width}}"
+        for title in titles:
+            row += f" {fmt.format(columns[title][block]):>{col_width}}"
+        out.write(row + "\n")
+    return out.getvalue()

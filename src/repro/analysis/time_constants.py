@@ -1,0 +1,113 @@
+"""Extract thermal time constants from transient traces.
+
+The paper's Fig. 7 analysis predicts the packages' time constants
+analytically (Eqns 5-6); these utilities fit the constants back out of
+simulated (or measured) step responses so prediction and model can be
+compared, and quantify rise/settle times for the DTM discussion
+(Section 5.1: AIR-SINK heat-up/cool-down phases are ~3 ms while
+OIL-SILICON's exceed the 15 ms window).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import SolverError
+
+
+def fit_single_exponential(
+    times: np.ndarray, values: np.ndarray
+) -> Tuple[float, float]:
+    """Fit ``v(t) = v_inf (1 - exp(-t/tau))`` to a heating trace.
+
+    Returns ``(tau, v_inf)``.  The fit linearizes ``log(1 - v/v_inf)``
+    with ``v_inf`` taken from the trace tail, which is robust for the
+    smooth step responses produced by the solvers.  Raises SolverError
+    for traces that do not look like rising exponentials.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.size < 4:
+        raise SolverError("need matching time/value arrays with >= 4 points")
+    v_inf = float(values[-1])
+    if v_inf <= 0:
+        raise SolverError("trace does not rise; cannot fit a heating response")
+    fraction = values / v_inf
+    usable = (fraction > 0.02) & (fraction < 0.95) & (times > 0)
+    if usable.sum() < 3:
+        raise SolverError("too few points in the exponential region")
+    y = np.log1p(-np.clip(fraction[usable], None, 0.999999))
+    slope = np.polyfit(times[usable], y, 1)[0]
+    if slope >= 0:
+        raise SolverError("trace is not decaying toward its asymptote")
+    return -1.0 / slope, v_inf
+
+
+def rise_time(
+    times: np.ndarray, values: np.ndarray, fraction: float = 0.63
+) -> float:
+    """First time the trace reaches ``fraction`` of its final value."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    target = fraction * values[-1]
+    above = np.nonzero(values >= target)[0]
+    if above.size == 0:
+        raise SolverError("trace never reaches the target fraction")
+    i = int(above[0])
+    if i == 0:
+        return float(times[0])
+    # Linear interpolation inside the crossing interval.
+    t0, t1 = times[i - 1], times[i]
+    v0, v1 = values[i - 1], values[i]
+    if v1 == v0:
+        return float(t1)
+    return float(t0 + (target - v0) / (v1 - v0) * (t1 - t0))
+
+
+def settle_time(
+    times: np.ndarray, values: np.ndarray, tolerance: float = 0.02
+) -> float:
+    """Earliest time after which the trace stays within ``tolerance``
+    (relative) of its final value."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    final = values[-1]
+    band = abs(final) * tolerance
+    outside = np.nonzero(np.abs(values - final) > band)[0]
+    if outside.size == 0:
+        return float(times[0])
+    last_outside = int(outside[-1])
+    if last_outside + 1 >= times.size:
+        raise SolverError("trace has not settled by the end of the run")
+    return float(times[last_outside + 1])
+
+
+def dominant_time_constant(times: np.ndarray, values: np.ndarray) -> float:
+    """Shortcut for the fitted tau of :func:`fit_single_exponential`."""
+    tau, _ = fit_single_exponential(times, values)
+    return tau
+
+
+def max_rate_of_change(times: np.ndarray, values: np.ndarray) -> float:
+    """Peak |dv/dt| along a trace (K/s).
+
+    Drives the paper's Section 5.2 sampling argument: IntReg rises about
+    5 C in 3 ms, so resolving 0.1 C requires sampling every ~60 us.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size < 2:
+        raise SolverError("need at least two points")
+    return float(np.max(np.abs(np.diff(values) / np.diff(times))))
+
+
+def required_sampling_interval(
+    times: np.ndarray, values: np.ndarray, resolution: float
+) -> float:
+    """Sampling interval needed so consecutive samples differ by at most
+    ``resolution`` at the trace's fastest point (seconds)."""
+    if resolution <= 0:
+        raise SolverError("resolution must be positive")
+    return resolution / max_rate_of_change(times, values)

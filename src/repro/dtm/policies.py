@@ -1,0 +1,99 @@
+"""Dynamic thermal management policies.
+
+A DTM policy, when engaged, scales the power of (a subset of) blocks
+and costs some performance.  The three classics the DTM literature the
+paper cites (Brooks & Martonosi, Skadron et al.) studies:
+
+* fetch throttling -- reduce the front-end duty cycle; dynamic power of
+  the affected blocks scales roughly linearly with the duty cycle, and
+  so does performance;
+* dynamic voltage/frequency scaling (DVFS) -- dynamic power scales as
+  ``f V^2 ~ s^3`` for a frequency scale ``s`` (voltage tracking
+  frequency), performance scales as ``s``;
+* clock gating -- stop the clock of the affected blocks entirely for a
+  duty fraction; power of gated blocks scales with the duty cycle and
+  performance degrades with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..floorplan.block import Floorplan
+
+
+@dataclass(frozen=True)
+class DTMPolicy:
+    """Base policy: uniform power scaling of target blocks when engaged.
+
+    ``power_factor`` multiplies the power of each targeted block while
+    the policy is engaged; ``performance_factor`` is the fraction of
+    nominal performance retained while engaged.  ``targets`` of None
+    means the whole chip.
+    """
+
+    power_factor: float
+    performance_factor: float
+    targets: Optional[FrozenSet[str]] = None
+    name: str = "dtm"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_factor <= 1.0:
+            raise ConfigurationError("power_factor must lie in [0, 1]")
+        if not 0.0 <= self.performance_factor <= 1.0:
+            raise ConfigurationError("performance_factor must lie in [0, 1]")
+
+    def power_scale_vector(self, floorplan: Floorplan) -> np.ndarray:
+        """Per-block power multiplier while engaged (floorplan order)."""
+        scale = np.ones(len(floorplan))
+        if self.targets is None:
+            scale[:] = self.power_factor
+            return scale
+        unknown = self.targets - set(floorplan.names)
+        if unknown:
+            raise ConfigurationError(
+                f"policy targets unknown blocks: {sorted(unknown)}"
+            )
+        for name in self.targets:
+            scale[floorplan.index_of(name)] = self.power_factor
+        return scale
+
+
+def FetchThrottle(
+    duty: float, targets: Optional[Sequence[str]] = None
+) -> DTMPolicy:
+    """Fetch throttling at the given duty cycle (power and perf ~ duty)."""
+    return DTMPolicy(
+        power_factor=duty,
+        performance_factor=duty,
+        targets=frozenset(targets) if targets is not None else None,
+        name=f"fetch_throttle({duty:g})",
+    )
+
+
+def DVFS(frequency_scale: float) -> DTMPolicy:
+    """Chip-wide DVFS: power ~ s^3, performance ~ s."""
+    if not 0.0 < frequency_scale <= 1.0:
+        raise ConfigurationError("frequency_scale must lie in (0, 1]")
+    return DTMPolicy(
+        power_factor=frequency_scale ** 3,
+        performance_factor=frequency_scale,
+        targets=None,
+        name=f"dvfs({frequency_scale:g})",
+    )
+
+
+def ClockGating(
+    duty: float, targets: Optional[Sequence[str]] = None
+) -> DTMPolicy:
+    """Clock gating of target blocks at the given duty cycle."""
+    return DTMPolicy(
+        power_factor=duty,
+        performance_factor=duty,
+        targets=frozenset(targets) if targets is not None else None,
+        name=f"clock_gating({duty:g})",
+    )

@@ -1,0 +1,35 @@
+"""Paper experiments: one module per figure/table of the evaluation.
+
+Every module exposes a ``run_figNN`` function returning a result
+object with the numbers the paper's figure reports, plus helpers the
+benchmark harness asserts against.  ``common`` holds the shared setup
+(standard dies, packages, the cached gcc-like EV6 power trace).
+"""
+
+from . import common
+from .fig02 import run_fig02, Fig02Result
+from .fig03 import run_fig03, Fig03Result
+from .fig04 import run_fig04, Fig04Result
+from .fig05 import run_fig05, Fig05Result
+from .fig06 import run_fig06, Fig06Result
+from .fig07 import run_fig07, Fig07Result
+from .fig08 import run_fig08, Fig08Result
+from .fig09 import run_fig09, Fig09Result
+from .fig10 import run_fig10, Fig10Result
+from .fig11 import run_fig11, Fig11Result
+from .fig12 import run_fig12, Fig12Result
+
+__all__ = [
+    "common",
+    "run_fig02", "Fig02Result",
+    "run_fig03", "Fig03Result",
+    "run_fig04", "Fig04Result",
+    "run_fig05", "Fig05Result",
+    "run_fig06", "Fig06Result",
+    "run_fig07", "Fig07Result",
+    "run_fig08", "Fig08Result",
+    "run_fig09", "Fig09Result",
+    "run_fig10", "Fig10Result",
+    "run_fig11", "Fig11Result",
+    "run_fig12", "Fig12Result",
+]

@@ -1,0 +1,82 @@
+"""Fig. 5 -- ablation of the secondary heat transfer path.
+
+Paper claims:
+
+* (a) Under OIL-SILICON, omitting the secondary path overpredicts
+  temperatures significantly (over 10 C for the Athlon), because a
+  large share of the heat leaves through the package pins when the
+  primary path is just oil over bare silicon.
+* (b) Under AIR-SINK, adding the secondary path changes block
+  temperatures by less than 1% -- essentially all heat already leaves
+  through the low-resistance heatsink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..floorplan import athlon_reference_power
+from ..solver import steady_block_temperatures
+from ..units import ZERO_CELSIUS_IN_KELVIN
+from .common import athlon_air_model, athlon_oil_model
+
+
+@dataclass
+class Fig05Result:
+    """Per-block temperatures (C) for the four configurations."""
+
+    oil_with_secondary: Dict[str, float]
+    oil_without_secondary: Dict[str, float]
+    air_with_secondary: Dict[str, float]
+    air_without_secondary: Dict[str, float]
+    ambient_c: float = 37.0
+
+    @property
+    def oil_max_error_c(self) -> float:
+        """Largest per-block overprediction from dropping the secondary
+        path under oil, in Celsius (paper: > 10 C)."""
+        return max(
+            self.oil_without_secondary[name] - self.oil_with_secondary[name]
+            for name in self.oil_with_secondary
+        )
+
+    @property
+    def air_max_relative_change(self) -> float:
+        """Largest relative change in temperature *rise* from adding the
+        secondary path under AIR-SINK (paper: < 1%)."""
+        worst = 0.0
+        for name in self.air_with_secondary:
+            rise_without = self.air_without_secondary[name] - self.ambient_c
+            rise_with = self.air_with_secondary[name] - self.ambient_c
+            if rise_without > 1e-9:
+                worst = max(
+                    worst, abs(rise_without - rise_with) / rise_without
+                )
+        return worst
+
+
+def run_fig05(nx: int = 32, ny: int = 32) -> Fig05Result:
+    """Run the Fig. 5 secondary-path ablation on the Athlon."""
+    powers = athlon_reference_power()
+
+    def temps(model) -> Dict[str, float]:
+        kelvin = steady_block_temperatures(model, powers)
+        return {k: v - ZERO_CELSIUS_IN_KELVIN for k, v in kelvin.items()}
+
+    return Fig05Result(
+        oil_with_secondary=temps(
+            athlon_oil_model(nx=nx, ny=ny, include_secondary=True)
+        ),
+        oil_without_secondary=temps(
+            athlon_oil_model(nx=nx, ny=ny, include_secondary=False)
+        ),
+        air_with_secondary=temps(
+            athlon_air_model(nx=nx, ny=ny, include_secondary=True)
+        ),
+        air_without_secondary=temps(
+            athlon_air_model(nx=nx, ny=ny, include_secondary=False)
+        ),
+    )

@@ -1,0 +1,140 @@
+"""Fig. 7 -- lumped thermal circuits and their time constants.
+
+The paper's Fig. 7 is an analytical figure: equivalent two-node RC
+circuits for each package, from which Eqns 5-6 predict
+
+* AIR-SINK short-term:  tau = R_Si C_Si         (milliseconds)
+* AIR-SINK long-term:   tau = Rconv C_sink      (tens of seconds)
+* OIL-SILICON:          tau = Rconv (C_Si + C_oil)  (~a second)
+
+and the observation that Rconv >> R_Si (1.042 vs 0.0125 K/W in the
+paper's setup) makes OIL-SILICON's short-term response two orders of
+magnitude slower.  This experiment computes the analytic constants for
+the validation die and cross-checks them against time constants fitted
+from the full grid model's step responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.time_constants import rise_time
+from ..convection.flow import FlowSpec
+from ..floorplan import uniform_grid_floorplan
+from ..materials import COPPER
+from ..package import AirSinkGeometry, air_sink_package, oil_silicon_package
+from ..rcmodel import ThermalGridModel
+from ..rcmodel.circuits import (
+    air_sink_long_term_time_constant,
+    air_sink_short_term_time_constant,
+    oil_silicon_time_constant,
+    silicon_capacitance,
+    silicon_vertical_resistance,
+)
+from ..solver import transient_step_response
+from .common import VALIDATION_DIE, VALIDATION_VELOCITY
+
+
+@dataclass
+class Fig07Result:
+    """Analytic vs fitted time constants (seconds)."""
+
+    r_si: float
+    c_si: float
+    c_oil: float
+    c_sink: float
+    rconv: float
+    tau_short_air_analytic: float
+    tau_long_air_analytic: float
+    tau_oil_analytic: float
+    tau_oil_fitted: float
+    tau_long_air_fitted: float
+
+    @property
+    def resistance_ratio(self) -> float:
+        """Rconv / R_Si (paper quotes ~83x: 1.042 / 0.0125)."""
+        return self.rconv / self.r_si
+
+    @property
+    def oil_agreement(self) -> float:
+        """Relative error between analytic and fitted oil tau."""
+        return abs(self.tau_oil_fitted - self.tau_oil_analytic) \
+            / self.tau_oil_analytic
+
+
+def run_fig07(
+    nx: int = 16,
+    ny: int = 16,
+    dt: float = 0.01,
+) -> Fig07Result:
+    """Compute and cross-check the Fig. 7 time constants."""
+    die = VALIDATION_DIE
+    area = die["width"] * die["height"]
+    flow = FlowSpec(velocity=VALIDATION_VELOCITY, uniform=True)
+
+    r_si = silicon_vertical_resistance(area, die["thickness"])
+    c_si = silicon_capacitance(area, die["thickness"])
+    rconv = flow.overall_resistance(die["width"], die["height"])
+    c_oil = flow.capacitance_per_area(die["width"], die["height"]) * area
+    geometry = AirSinkGeometry()
+    c_sink = (
+        COPPER.volumetric_heat * geometry.sink_size ** 2
+        * geometry.sink_thickness
+    )
+
+    tau_short_air = air_sink_short_term_time_constant(r_si, c_si)
+    tau_long_air = air_sink_long_term_time_constant(rconv, c_sink)
+    tau_oil = oil_silicon_time_constant(rconv, c_si, c_oil)
+
+    # Fit the oil constant from the full model's uniform step response.
+    plan = uniform_grid_floorplan(die["width"], die["height"], prefix="die")
+    oil_cfg = oil_silicon_package(
+        die["width"], die["height"], velocity=VALIDATION_VELOCITY,
+        die_thickness=die["thickness"], uniform_h=True,
+        include_secondary=False, ambient=300.0,
+    )
+    oil_model = ThermalGridModel(plan, oil_cfg, nx=nx, ny=ny)
+    oil_response = transient_step_response(
+        oil_model.network, oil_model.node_power({"die": 100.0}),
+        t_end=max(5.0 * tau_oil, 20 * dt), dt=dt,
+        projector=oil_model.block_rise,
+    )
+    tau_oil_fit = rise_time(
+        oil_response.times, oil_response.states[:, 0], fraction=0.632
+    )
+
+    # Fit the air long-term constant the same way (coarse dt is fine;
+    # the constant is tens of seconds).
+    # The fan-side lumped capacitance is zeroed so the fitted constant
+    # isolates Eqn 5/6's Rconv * C_sink (the analytic circuit has no
+    # coolant capacitance on the air side).
+    air_cfg = air_sink_package(
+        die["width"], die["height"], convection_resistance=rconv,
+        die_thickness=die["thickness"], geometry=geometry,
+        convection_capacitance=0.0, ambient=300.0,
+    )
+    air_model = ThermalGridModel(plan, air_cfg, nx=nx, ny=ny)
+    air_dt = max(tau_long_air / 200.0, dt)
+    air_response = transient_step_response(
+        air_model.network, air_model.node_power({"die": 100.0}),
+        t_end=5.0 * tau_long_air, dt=air_dt,
+        projector=air_model.block_rise,
+    )
+    tau_air_fit = rise_time(
+        air_response.times, air_response.states[:, 0], fraction=0.632
+    )
+
+    return Fig07Result(
+        r_si=r_si,
+        c_si=c_si,
+        c_oil=c_oil,
+        c_sink=c_sink,
+        rconv=rconv,
+        tau_short_air_analytic=tau_short_air,
+        tau_long_air_analytic=tau_long_air,
+        tau_oil_analytic=tau_oil,
+        tau_oil_fitted=tau_oil_fit,
+        tau_long_air_fitted=tau_air_fit,
+    )

@@ -1,0 +1,128 @@
+"""Fig. 12 -- simulated EV6 temperature traces running gcc.
+
+Paper setup: SimpleScalar+Wattch power samples every 10 kcycles
+(~3.3 us) drive the thermal model; both packages use
+Rconv = 0.3 K/W and 45 C ambient; the five hottest blocks are plotted.
+Claims:
+
+* AIR-SINK's heat-up/cool-down phases last ~3 ms; OIL-SILICON's far
+  exceed the trace's swings (it spends most of its time in transient);
+* OIL-SILICON's absolute temperatures are much higher (same total
+  power, no copper spreading, high local densities) while cross-die
+  *average* temperatures stay close (the cool L2 balances the core);
+* the AIR-SINK hot spot (IntReg) is more distinct than OIL-SILICON's,
+  where neighbors blend together;
+* in both, IntReg can rise ~5 C in ~3 ms, so 0.1 C sensing resolution
+  needs sampling every ~60 us (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..analysis.time_constants import required_sampling_interval
+from ..power.trace import PowerTrace
+from ..solver import simulate_schedule, steady_state
+from ..units import ZERO_CELSIUS_IN_KELVIN
+from .common import celsius, ev6_air_model, ev6_oil_model
+
+
+@dataclass
+class Fig12Result:
+    """Per-block temperature traces (C) for both packages."""
+
+    times: np.ndarray
+    oil_blocks_c: np.ndarray   # (n_times, n_blocks)
+    air_blocks_c: np.ndarray
+    block_names: List[str]
+    hottest_five_air: List[str]
+    hottest_five_oil: List[str]
+
+    def block_series(self, which: str, block: str) -> np.ndarray:
+        """One block's trace from one package ("oil" or "air")."""
+        data = self.oil_blocks_c if which == "oil" else self.air_blocks_c
+        return data[:, self.block_names.index(block)]
+
+    def average_trace(self, which: str, areas: np.ndarray) -> np.ndarray:
+        """Area-weighted cross-die average temperature trace."""
+        data = self.oil_blocks_c if which == "oil" else self.air_blocks_c
+        weights = areas / areas.sum()
+        return data @ weights
+
+    def sampling_interval_for(
+        self, which: str, block: str, resolution: float = 0.1
+    ) -> float:
+        """Sensor sampling interval bounding per-sample change (s)."""
+        series = self.block_series(which, block)
+        return required_sampling_interval(self.times, series, resolution)
+
+    def hotspot_distinctness(self, which: str) -> float:
+        """Mean gap (C) between the hottest and second-hottest block.
+
+        Larger = a more distinct hot spot (the AIR-SINK signature)."""
+        data = self.oil_blocks_c if which == "oil" else self.air_blocks_c
+        ordered = np.sort(data, axis=1)
+        return float(np.mean(ordered[:, -1] - ordered[:, -2]))
+
+
+def run_fig12(
+    instructions: int = 500_000,
+    duration: float = 0.040,
+    rconv: float = 0.3,
+    nx: int = 24,
+    ny: int = 24,
+    thermal_stride: int = 10,
+) -> Fig12Result:
+    """Run the Fig. 12 trace-driven experiment.
+
+    The power trace comes from the functional simulation extended to
+    ``duration`` seconds by the phase-level synthesizer (the paper's
+    trace spans ~130 ms; the default 40 ms keeps the run quick while
+    covering many program phases).  ``thermal_stride`` bins the 3.3 us
+    power samples into coarser thermal steps -- 33 us by default, far
+    below the millisecond thermal dynamics of interest and below the
+    ~60 us sensor-sampling bound the experiment derives.
+    """
+    ambient = celsius(45.0)
+    from .common import gcc_synthesized_trace
+
+    trace: PowerTrace = gcc_synthesized_trace(duration, instructions)
+    if thermal_stride > 1:
+        trace = trace.resampled(thermal_stride)
+    oil = ev6_oil_model(
+        nx=nx, ny=ny, uniform_h=True, target_resistance=rconv,
+        include_secondary=True, ambient=ambient,
+    )
+    air = ev6_air_model(
+        nx=nx, ny=ny, convection_resistance=rconv, ambient=ambient
+    )
+    plan = oil.floorplan
+    ambient_c = ambient - ZERO_CELSIUS_IN_KELVIN
+
+    def run(model):
+        schedule = trace.to_schedule(model)
+        x0 = steady_state(model.network, model.node_power(trace.average()))
+        result = simulate_schedule(
+            model.network, schedule, dt=trace.dt, x0=x0,
+            projector=model.block_rise,
+        )
+        return result.times, result.states + ambient_c
+
+    times, oil_c = run(oil)
+    _, air_c = run(air)
+
+    def hottest_five(data: np.ndarray) -> List[str]:
+        order = np.argsort(data.mean(axis=0))[::-1][:5]
+        return [plan.names[i] for i in order]
+
+    return Fig12Result(
+        times=times,
+        oil_blocks_c=oil_c,
+        air_blocks_c=air_c,
+        block_names=plan.names,
+        hottest_five_air=hottest_five(air_c),
+        hottest_five_oil=hottest_five(oil_c),
+    )

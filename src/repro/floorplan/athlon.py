@@ -1,0 +1,141 @@
+"""AMD Athlon 64-like floorplan.
+
+Used for the paper's Fig. 4 (steady-state map under OIL-SILICON,
+qualitative validation against the IR measurements of Mesa-Martinez et
+al., ISCA'07) and Fig. 5 (secondary-path ablation).  The paper derives
+its floorplan from the processor die photo; the die photo itself is not
+available here, so this module lays out the paper's 21 block names
+(listed on the Fig. 5 axis) in a topology consistent with the published
+description:
+
+* a large, relatively cool ``l2cache`` occupying the bottom of the die,
+* the core cluster (``sched`` -- the hottest unit in the paper's
+  snapshot -- with ``rob_irf``, ``lsq``, ``fetch``, ...) in a band near
+  the top,
+* ``blank`` filler units along the top edge (the paper excludes "the
+  blank area on the edges" when quoting the coolest temperature).
+
+Per-block reference powers were calibrated against the OIL-SILICON
+thermal model (10 m/s flow, secondary path, 40 C oil) so the steady
+state lands where the paper's validation does: hottest block ``sched``
+at about 72 C (paper: ~73 C model vs ~70 C IR) and the coolest active
+block near 45-49 C (paper: ~45 C).  The total of ~7 W reflects the
+reduced-activity operating point of the published IR experiment, not
+the processor's TDP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..units import mm
+from .block import Block, Floorplan
+
+#: The 21 block names in the order of the paper's Fig. 5 axis.
+ATHLON_BLOCK_NAMES = [
+    "blank1",
+    "blank2",
+    "blank3",
+    "blank4",
+    "mem_ctl",
+    "clock",
+    "l2cache",
+    "fetch",
+    "rob_irf",
+    "sched",
+    "clockd1",
+    "clockd2",
+    "clockd3",
+    "lsq",
+    "dtlb",
+    "fp_sched",
+    "frf",
+    "sse",
+    "l1i",
+    "bus_etc",
+    "l1d",
+    "fp0",
+]
+
+_DIE_W_MM = 11.0
+_DIE_H_MM = 10.0
+
+# Geometry in millimeters: (width, height, x, y); exact gapless tiling
+# in five horizontal bands.
+_GEOMETRY_MM = {
+    # Band 1: L2 cache across the bottom.
+    "l2cache": (11.0, 4.0, 0.0, 0.0),
+    # Band 2: memory controller and buses.
+    "mem_ctl": (5.5, 1.0, 0.0, 4.0),
+    "bus_etc": (5.5, 1.0, 5.5, 4.0),
+    # Band 3: first-level caches and SIMD/FP datapaths.
+    "l1i": (3.0, 2.5, 0.0, 5.0),
+    "l1d": (3.5, 2.5, 3.0, 5.0),
+    "sse": (2.5, 2.5, 6.5, 5.0),
+    "fp0": (2.0, 2.5, 9.0, 5.0),
+    # Band 4: the out-of-order core.
+    "fetch": (2.0, 1.5, 0.0, 7.5),
+    "sched": (1.2, 1.5, 2.0, 7.5),
+    "rob_irf": (1.8, 1.5, 3.2, 7.5),
+    "lsq": (1.6, 1.5, 5.0, 7.5),
+    "dtlb": (1.2, 1.5, 6.6, 7.5),
+    "fp_sched": (1.4, 1.5, 7.8, 7.5),
+    "frf": (1.8, 1.5, 9.2, 7.5),
+    # Band 5: clock distribution and blank filler along the top edge.
+    "blank1": (2.0, 1.0, 0.0, 9.0),
+    "clock": (1.5, 1.0, 2.0, 9.0),
+    "clockd1": (1.0, 1.0, 3.5, 9.0),
+    "clockd2": (1.0, 1.0, 4.5, 9.0),
+    "clockd3": (1.0, 1.0, 5.5, 9.0),
+    "blank2": (1.5, 1.0, 6.5, 9.0),
+    "blank3": (1.5, 1.0, 8.0, 9.0),
+    "blank4": (1.5, 1.0, 9.5, 9.0),
+}
+
+#: Reference average power per block, Watts.  Chosen (see module
+#: docstring) so the OIL-SILICON steady state reproduces the paper's
+#: validation numbers; the qualitative structure (hot scheduler/core,
+#: cool L2 and blanks) follows the Mesa-Martinez measurements the paper
+#: compares against.
+_REFERENCE_POWER_W = {
+    "blank1": 0.008,
+    "blank2": 0.008,
+    "blank3": 0.008,
+    "blank4": 0.008,
+    "mem_ctl": 0.04,
+    "clock": 0.04,
+    "l2cache": 0.10,
+    "fetch": 0.06,
+    "rob_irf": 0.30,
+    "sched": 3.05,
+    "clockd1": 0.012,
+    "clockd2": 0.012,
+    "clockd3": 0.012,
+    "lsq": 0.22,
+    "dtlb": 0.04,
+    "fp_sched": 0.04,
+    "frf": 0.04,
+    "sse": 0.24,
+    "l1i": 0.12,
+    "bus_etc": 0.04,
+    "l1d": 0.30,
+    "fp0": 0.12,
+}
+
+
+def athlon_floorplan() -> Floorplan:
+    """Build the Athlon-like floorplan (11 mm x 10 mm, 21 blocks)."""
+    blocks: List[Block] = []
+    for name in ATHLON_BLOCK_NAMES:
+        width, height, x, y = _GEOMETRY_MM[name]
+        blocks.append(Block(name, mm(width), mm(height), mm(x), mm(y)))
+    plan = Floorplan(
+        blocks, die_width=mm(_DIE_W_MM), die_height=mm(_DIE_H_MM), name="athlon"
+    )
+    plan.check_non_overlapping()
+    return plan
+
+
+def athlon_reference_power() -> Dict[str, float]:
+    """Per-block average power (Watts) for the Fig. 4 validation run."""
+    return dict(_REFERENCE_POWER_W)

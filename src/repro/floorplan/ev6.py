@@ -1,0 +1,91 @@
+"""Alpha EV6 (21264)-like floorplan.
+
+The paper's Sections 4 and 5 run every EV6 experiment on the 18-block
+floorplan that ships with HotSpot (``ev6.flp``).  We reproduce the same
+topology on a 16 mm x 16 mm die:
+
+* the L2 cache occupies the bottom of the die plus two tall banks on the
+  left and right edges,
+* the I-cache and D-cache sit above the L2 in the middle band,
+* a thin row of small units (Bpred, DTB, FPAdd, FPReg, FPMul, FPMap)
+  separates the caches from the core,
+* the integer core (IntMap, IntQ, FPQ, LdStQ, IntReg, IntExec, ITB)
+  occupies the top band, with **IntReg adjacent to the top die edge** --
+  this adjacency is what makes a top-to-bottom oil flow cool IntReg so
+  well that Dcache becomes the hottest unit (paper Fig. 11).
+
+The tiling is exact (blocks cover the die with no gaps or overlaps), so
+grid mapping needs no filler cells.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..units import mm
+from .block import Block, Floorplan
+
+#: The 18 block names, in the order the paper's Fig. 11 table lists them.
+EV6_BLOCK_NAMES = [
+    "L2_left",
+    "L2",
+    "L2_right",
+    "Icache",
+    "Dcache",
+    "Bpred",
+    "DTB",
+    "FPAdd",
+    "FPReg",
+    "FPMul",
+    "FPMap",
+    "IntMap",
+    "IntQ",
+    "IntReg",
+    "IntExec",
+    "FPQ",
+    "LdStQ",
+    "ITB",
+]
+
+# Geometry in millimeters: (width, height, x, y).
+_DIE_MM = 16.0
+_GEOMETRY_MM = {
+    # L2 ring: bottom slab plus left/right banks.
+    "L2": (16.0, 9.8, 0.0, 0.0),
+    "L2_left": (4.9, 6.2, 0.0, 9.8),
+    "L2_right": (4.9, 6.2, 11.1, 9.8),
+    # First-level caches in the middle band.
+    "Icache": (3.1, 2.6, 4.9, 9.8),
+    "Dcache": (3.1, 2.6, 8.0, 9.8),
+    # Thin row of front-end / FP units.
+    "Bpred": (31.0 / 30.0, 0.7, 4.9, 12.4),
+    "DTB": (31.0 / 30.0, 0.7, 4.9 + 31.0 / 30.0, 12.4),
+    "FPAdd": (31.0 / 30.0, 0.7, 4.9 + 2 * 31.0 / 30.0, 12.4),
+    "FPReg": (31.0 / 30.0, 0.7, 4.9 + 3 * 31.0 / 30.0, 12.4),
+    "FPMul": (31.0 / 30.0, 0.7, 4.9 + 4 * 31.0 / 30.0, 12.4),
+    "FPMap": (31.0 / 30.0, 0.7, 4.9 + 5 * 31.0 / 30.0, 12.4),
+    # Integer core, lower row.
+    "IntMap": (1.55, 1.45, 4.9, 13.1),
+    "IntQ": (1.55, 1.45, 6.45, 13.1),
+    "FPQ": (1.55, 1.45, 8.0, 13.1),
+    "LdStQ": (1.55, 1.45, 9.55, 13.1),
+    # Integer core, top row -- IntReg touches the top die edge.  IntReg
+    # is deliberately small (~1.1 mm^2, like the real 21264's integer
+    # register file) so its power density is the highest on the die.
+    "IntReg": (0.75, 1.45, 4.9, 14.55),
+    "IntExec": (3.65, 1.45, 5.65, 14.55),
+    "ITB": (1.8, 1.45, 9.3, 14.55),
+}
+
+
+def ev6_floorplan() -> Floorplan:
+    """Build the EV6-like floorplan (16 mm x 16 mm, 18 blocks)."""
+    blocks: List[Block] = []
+    for name in EV6_BLOCK_NAMES:
+        width, height, x, y = _GEOMETRY_MM[name]
+        blocks.append(Block(name, mm(width), mm(height), mm(x), mm(y)))
+    plan = Floorplan(
+        blocks, die_width=mm(_DIE_MM), die_height=mm(_DIE_MM), name="ev6"
+    )
+    plan.check_non_overlapping()
+    return plan

@@ -1,0 +1,87 @@
+"""Read and write HotSpot ``.flp`` floorplan files.
+
+The HotSpot format is line oriented::
+
+    <unit-name> <width> <height> <left-x> <bottom-y>
+
+with ``#`` comments and blank lines ignored.  Lengths are meters.  This
+is the format HotSpot itself consumes, so floorplans exported from this
+library can be fed back to the original C tool and vice versa.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Union
+
+from ..errors import FloorplanParseError
+from .block import Block, Floorplan
+
+
+def parse_flp(
+    text: str,
+    die_width: Optional[float] = None,
+    die_height: Optional[float] = None,
+    name: str = "floorplan",
+) -> Floorplan:
+    """Parse the contents of a HotSpot ``.flp`` file into a Floorplan."""
+    blocks: List[Block] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) < 5:
+            raise FloorplanParseError(
+                f"line {line_no}: expected 5 fields "
+                f"(name width height x y), got {len(fields)}: {raw!r}"
+            )
+        unit = fields[0]
+        try:
+            width, height, x, y = (float(f) for f in fields[1:5])
+        except ValueError as exc:
+            raise FloorplanParseError(
+                f"line {line_no}: non-numeric geometry in {raw!r}"
+            ) from exc
+        try:
+            blocks.append(Block(unit, width, height, x, y))
+        except Exception as exc:
+            raise FloorplanParseError(f"line {line_no}: {exc}") from exc
+    if not blocks:
+        raise FloorplanParseError("no blocks found in floorplan text")
+    return Floorplan(blocks, die_width=die_width, die_height=die_height, name=name)
+
+
+def format_flp(floorplan: Floorplan, header: bool = True) -> str:
+    """Serialize a Floorplan to HotSpot ``.flp`` text."""
+    lines: List[str] = []
+    if header:
+        lines.append(f"# floorplan: {floorplan.name}")
+        lines.append(
+            f"# die: {floorplan.die_width:.6g} x {floorplan.die_height:.6g} m"
+        )
+        lines.append("# unit-name\twidth\theight\tleft-x\tbottom-y")
+    for block in floorplan:
+        lines.append(
+            f"{block.name}\t{block.width:.6e}\t{block.height:.6e}"
+            f"\t{block.x:.6e}\t{block.y:.6e}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def load_flp(
+    path: Union[str, os.PathLike],
+    die_width: Optional[float] = None,
+    die_height: Optional[float] = None,
+) -> Floorplan:
+    """Load a floorplan from a ``.flp`` file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stem = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return parse_flp(text, die_width=die_width, die_height=die_height, name=stem)
+
+
+def save_flp(floorplan: Floorplan, path: Union[str, os.PathLike]) -> None:
+    """Write a floorplan to a ``.flp`` file on disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_flp(floorplan))

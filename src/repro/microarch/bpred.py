@@ -1,0 +1,74 @@
+"""Branch predictor models.
+
+A bimodal (2-bit saturating counter) predictor indexed by PC -- the
+classic baseline and close to the EV6's local history component for
+this purpose.  Prediction is vectorized per chunk: counters are read
+for all branches, then updated sequentially per static branch (the
+per-PC update order within a chunk matters only for aliased PCs, which
+the sequential pass handles exactly).
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class BimodalPredictor:
+    """2-bit saturating-counter branch predictor."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if not 4 <= table_bits <= 24:
+            raise ConfigurationError("table_bits must lie in [4, 24]")
+        self.table_bits = int(table_bits)
+        self.size = 1 << self.table_bits
+        # Counters start weakly taken (2 on the 0..3 scale).
+        self.counters = np.full(self.size, 2, dtype=np.int8)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pcs: np.ndarray) -> np.ndarray:
+        return (pcs >> 2) & (self.size - 1)
+
+    def predict_and_update(
+        self, pcs: np.ndarray, taken: np.ndarray
+    ) -> np.ndarray:
+        """Predict a chunk of branches and train the counters.
+
+        Returns a boolean array: True where the prediction was wrong.
+        """
+        pcs = np.asarray(pcs, dtype=np.int64)
+        taken = np.asarray(taken, dtype=bool)
+        if pcs.shape != taken.shape:
+            raise ConfigurationError("pcs and outcomes must align")
+        indices = self._index(pcs)
+        wrong = np.zeros(pcs.shape, dtype=bool)
+        counters = self.counters
+        for i in range(pcs.size):
+            idx = indices[i]
+            predicted_taken = counters[idx] >= 2
+            actual = taken[i]
+            wrong[i] = predicted_taken != actual
+            if actual:
+                if counters[idx] < 3:
+                    counters[idx] += 1
+            else:
+                if counters[idx] > 0:
+                    counters[idx] -= 1
+        self.predictions += int(pcs.size)
+        self.mispredictions += int(wrong.sum())
+        return wrong
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Cumulative misprediction rate over everything predicted."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_statistics(self) -> None:
+        """Zero the counters' statistics (state is kept)."""
+        self.predictions = 0
+        self.mispredictions = 0

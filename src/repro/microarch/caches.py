@@ -1,0 +1,149 @@
+"""Functional cache models.
+
+Set-associative caches with true-LRU replacement, simulated on address
+streams.  The hierarchy mirrors the EV6: split 64 KB L1 I/D caches
+backed by a unified L2.  Only hit/miss behavior is modelled (no data),
+which is all the activity/power model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class SetAssociativeCache:
+    """A set-associative cache with LRU replacement.
+
+    Tags are stored per set in recency order (index 0 = most recent),
+    so a lookup is a scan of at most ``ways`` entries and an update is
+    a list rotation -- simple and adequate for the stream sizes the
+    simulator uses.
+    """
+
+    def __init__(
+        self, size_bytes: int, line_bytes: int, ways: int, name: str = "cache"
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines % ways:
+            raise ConfigurationError("lines must divide evenly into ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = n_lines // ways
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigurationError("set count must be a power of two")
+        self._set_mask = self.n_sets - 1
+        self._line_shift = int(np.log2(line_bytes))
+        if (1 << self._line_shift) != line_bytes:
+            raise ConfigurationError("line size must be a power of two")
+        # recency-ordered tag list per set; -1 = invalid.
+        self._tags = np.full((self.n_sets, ways), -1, dtype=np.int64)
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on hit (and updates LRU)."""
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        tag = line >> int(np.log2(self.n_sets)) if self.n_sets > 1 else line
+        row = self._tags[set_index]
+        self.accesses += 1
+        for way in range(self.ways):
+            if row[way] == tag:
+                if way:
+                    row[1:way + 1] = row[0:way]
+                    row[0] = tag
+                return True
+        # miss: evict LRU (last), insert MRU (first)
+        row[1:] = row[:-1]
+        row[0] = tag
+        self.misses += 1
+        return False
+
+    def access_block(self, addresses: np.ndarray) -> np.ndarray:
+        """Access a sequence of addresses; returns per-access hit flags."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        hits = np.empty(addresses.shape, dtype=bool)
+        for i, address in enumerate(addresses):
+            hits[i] = self.access(int(address))
+        return hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Cumulative miss rate."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_statistics(self) -> None:
+        """Zero the counters (contents are kept warm)."""
+        self.accesses = 0
+        self.misses = 0
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level access/miss counts for one simulated chunk."""
+
+    l1i_accesses: int
+    l1i_misses: int
+    l1d_accesses: int
+    l1d_misses: int
+    l2_accesses: int
+    l2_misses: int
+
+
+class CacheHierarchy:
+    """EV6-like hierarchy: split L1 I/D, unified L2."""
+
+    def __init__(
+        self,
+        l1i: Tuple[int, int, int] = (64 * 1024, 64, 2),
+        l1d: Tuple[int, int, int] = (64 * 1024, 64, 2),
+        l2: Tuple[int, int, int] = (2 * 1024 * 1024, 64, 8),
+    ) -> None:
+        self.l1i = SetAssociativeCache(*l1i, name="l1i")
+        self.l1d = SetAssociativeCache(*l1d, name="l1d")
+        self.l2 = SetAssociativeCache(*l2, name="l2")
+
+    def simulate_chunk(
+        self,
+        pcs: np.ndarray,
+        data_addresses: np.ndarray,
+    ) -> HierarchyStats:
+        """Run instruction fetches and data accesses through the levels.
+
+        ``pcs`` are sampled fetch addresses, ``data_addresses`` the
+        chunk's load/store addresses.  L1 misses are forwarded to L2;
+        L2 misses stand for DRAM traffic.
+        """
+        i_hits = self.l1i.access_block(np.asarray(pcs, dtype=np.int64))
+        i_misses = np.flatnonzero(~i_hits)
+        d_hits = self.l1d.access_block(np.asarray(data_addresses, np.int64))
+        d_misses = np.flatnonzero(~d_hits)
+        l2_accesses = 0
+        l2_misses = 0
+        for idx in i_misses:
+            l2_accesses += 1
+            if not self.l2.access(int(pcs[idx])):
+                l2_misses += 1
+        for idx in d_misses:
+            l2_accesses += 1
+            if not self.l2.access(int(data_addresses[idx])):
+                l2_misses += 1
+        return HierarchyStats(
+            l1i_accesses=int(len(pcs)),
+            l1i_misses=int(i_misses.size),
+            l1d_accesses=int(len(data_addresses)),
+            l1d_misses=int(d_misses.size),
+            l2_accesses=l2_accesses,
+            l2_misses=l2_misses,
+        )

@@ -1,0 +1,98 @@
+"""Building blocks of a cooling configuration.
+
+A cooling configuration is described declaratively as stacks of
+:class:`Layer` objects plus :class:`ConvectionBoundary` terminations;
+the RC-model builder (:mod:`repro.rcmodel.stack`) translates the
+description into grid nodes, lumped peripheral nodes and conductances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..materials import Material
+from ..convection.flow import FlowSpec
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One solid layer of the package stack.
+
+    ``footprint_width``/``footprint_height`` give the lateral extent of
+    the layer; ``None`` means "same as the die".  A layer larger than the
+    die is modelled as a gridded center (the die footprint) plus lumped
+    peripheral rim nodes, HotSpot style.
+    """
+
+    name: str
+    material: Material
+    thickness: float
+    footprint_width: Optional[float] = None
+    footprint_height: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("layer name must be non-empty")
+        require_positive(f"thickness of layer {self.name!r}", self.thickness)
+        if (self.footprint_width is None) != (self.footprint_height is None):
+            raise ConfigurationError(
+                f"layer {self.name!r}: give both footprint dimensions or neither"
+            )
+        if self.footprint_width is not None:
+            require_positive("footprint_width", self.footprint_width)
+            require_positive("footprint_height", self.footprint_height)
+
+    def extends_beyond(self, die_width: float, die_height: float) -> bool:
+        """Whether this layer overhangs the die footprint."""
+        if self.footprint_width is None:
+            return False
+        return (
+            self.footprint_width > die_width + 1e-12
+            or self.footprint_height > die_height + 1e-12
+        )
+
+    def footprint(self, die_width: float, die_height: float):
+        """Actual (width, height) of the layer given the die size."""
+        if self.footprint_width is None:
+            return die_width, die_height
+        if (self.footprint_width + 1e-12 < die_width
+                or self.footprint_height + 1e-12 < die_height):
+            raise ConfigurationError(
+                f"layer {self.name!r} footprint is smaller than the die"
+            )
+        return self.footprint_width, self.footprint_height
+
+
+@dataclass(frozen=True)
+class ConvectionBoundary:
+    """A convective termination of a stack.
+
+    Exactly one of ``flow`` and ``total_resistance`` selects the mode:
+
+    * ``flow`` -- a :class:`~repro.convection.flow.FlowSpec`; the per-cell
+      heat transfer coefficients come from the laminar flat-plate
+      correlations (uniform or local h(x)), and the coolant's thermal
+      capacitance (paper Eqn 3) is attached to the wetted surface.
+    * ``total_resistance`` -- a fixed overall resistance to ambient in
+      K/W, distributed over the wetted surface in proportion to area
+      (how HotSpot models a fan+heatsink without resolving the air
+      flow).  ``total_capacitance`` optionally adds the lumped coolant
+      capacitance HotSpot calls ``c_convec``.
+    """
+
+    flow: Optional[FlowSpec] = None
+    total_resistance: Optional[float] = None
+    total_capacitance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.flow is None) == (self.total_resistance is None):
+            raise ConfigurationError(
+                "give exactly one of flow= or total_resistance="
+            )
+        if self.total_resistance is not None:
+            require_positive("total_resistance", self.total_resistance)
+        if self.total_capacitance < 0:
+            raise ConfigurationError("total_capacitance must be >= 0")

@@ -1,0 +1,219 @@
+"""The paper's cooling-mechanism taxonomy as ready-made packages.
+
+Section 2.1 catalogues convective cooling variants (forced air over a
+heatsink, natural convection, forced water, forced oil over bare
+silicon, microchannel cooling) and Section 5.1.1 notes that
+high-power parts under IR measurement need help beyond the oil flow
+(e.g. thermoelectric assistance) to reach realistic Rconv.  The
+paper's conclusions then propose exploring "the entire design space of
+thermal packages" as a design knob.
+
+This module provides those configurations with documented,
+representative parameters so the design-space sweep (see
+``benchmarks/test_bench_design_space.py`` and
+``examples/package_design_space.py``) runs over the same menu the
+paper names.  Each is a normal :class:`CoolingConfig`; everything else
+in the library (solvers, DTM, sensors) applies unchanged.
+"""
+
+from __future__ import annotations
+
+
+from ..convection.flow import FlowDirection, FlowSpec
+from ..errors import ConfigurationError
+from ..materials import SILICON, WATER
+from ..units import DEFAULT_AMBIENT_KELVIN, mm, require_positive, um
+from .air_sink import air_sink_package
+from .config import CoolingConfig
+from .layers import ConvectionBoundary, Layer
+from .oil_silicon import oil_silicon_package
+
+#: A passive (fanless) heatsink reaches roughly 2-5 K/W to ambient;
+#: natural convection over a bare small package is far worse.
+NATURAL_CONVECTION_SINK_RESISTANCE = 4.0
+
+
+def natural_convection_package(
+    die_width: float,
+    die_height: float,
+    die_thickness: float = um(500.0),
+    sink_resistance: float = NATURAL_CONVECTION_SINK_RESISTANCE,
+    ambient: float = DEFAULT_AMBIENT_KELVIN,
+) -> CoolingConfig:
+    """A fanless system: spreader + passive sink, natural convection.
+
+    Section 2.1: "natural convection for low-cost chips without a fan".
+    Structurally identical to AIR-SINK but with a much larger
+    convection resistance and no fan-driven coolant capacitance.
+    """
+    return air_sink_package(
+        die_width, die_height,
+        convection_resistance=sink_resistance,
+        die_thickness=die_thickness,
+        convection_capacitance=0.0,
+        ambient=ambient,
+    )
+
+
+def water_cooled_package(
+    die_width: float,
+    die_height: float,
+    velocity: float = 1.5,
+    die_thickness: float = um(500.0),
+    direction: FlowDirection = FlowDirection.LEFT_TO_RIGHT,
+    include_cold_plate: bool = True,
+    ambient: float = DEFAULT_AMBIENT_KELVIN,
+) -> CoolingConfig:
+    """Forced water cooling (Section 2.1: overclocked/server systems).
+
+    With ``include_cold_plate`` the water flows over a thin copper cold
+    plate attached through TIM (the practical arrangement); without it,
+    the water flows over the bare die like the IR oil bench -- useful
+    as a what-if, since water's far higher conductivity and lower
+    Prandtl number give a much lower Rconv than oil at the same speed.
+    """
+    require_positive("velocity", velocity)
+    flow = FlowSpec(fluid=WATER, velocity=velocity, direction=direction)
+    if not include_cold_plate:
+        config = oil_silicon_package(
+            die_width, die_height, velocity=velocity, direction=direction,
+            die_thickness=die_thickness, fluid=WATER,
+            include_secondary=True, ambient=ambient,
+        )
+        return CoolingConfig(
+            name="WATER-SILICON",
+            die=config.die,
+            layers_above=config.layers_above,
+            top_boundary=config.top_boundary,
+            secondary=config.secondary,
+            ambient=ambient,
+        )
+    from ..materials import COPPER, THERMAL_INTERFACE
+
+    die = Layer("silicon", SILICON, thickness=die_thickness)
+    layers = (
+        Layer("interface", THERMAL_INTERFACE, thickness=um(20.0)),
+        Layer("cold_plate", COPPER, thickness=mm(3.0),
+              footprint_width=max(die_width, mm(40.0)),
+              footprint_height=max(die_height, mm(40.0))),
+    )
+    boundary = ConvectionBoundary(
+        flow=FlowSpec(fluid=WATER, velocity=velocity,
+                      direction=direction, uniform=True)
+    )
+    return CoolingConfig(
+        name="WATER-PLATE",
+        die=die,
+        layers_above=layers,
+        top_boundary=boundary,
+        secondary=None,
+        ambient=ambient,
+    )
+
+
+def microchannel_package(
+    die_width: float,
+    die_height: float,
+    die_thickness: float = um(500.0),
+    effective_h: float = 8.0e4,
+    channel_depth: float = um(300.0),
+    ambient: float = DEFAULT_AMBIENT_KELVIN,
+) -> CoolingConfig:
+    """Integrated microchannel cooling (Section 2.1, citing Koo et al.).
+
+    Microchannels etched into (or bonded onto) the back of the die give
+    effective heat transfer coefficients of 1e4-1e5 W/m^2K -- one to
+    two orders of magnitude beyond the laminar oil flow.  Modelled as a
+    uniform fixed-conductance boundary on the die back plus the
+    channel water volume's heat capacity.
+    """
+    require_positive("effective_h", effective_h)
+    die = Layer("silicon", SILICON, thickness=die_thickness)
+    area = die_width * die_height
+    resistance = 1.0 / (effective_h * area)
+    water_capacitance = WATER.volumetric_heat * area * channel_depth
+    boundary = ConvectionBoundary(
+        total_resistance=resistance,
+        total_capacitance=water_capacitance,
+    )
+    return CoolingConfig(
+        name="MICROCHANNEL",
+        die=die,
+        layers_above=(),
+        top_boundary=boundary,
+        secondary=None,
+        ambient=ambient,
+    )
+
+
+def tec_assisted_oil_package(
+    die_width: float,
+    die_height: float,
+    resistance_reduction: float = 3.0,
+    velocity: float = 10.0,
+    direction: FlowDirection = FlowDirection.LEFT_TO_RIGHT,
+    die_thickness: float = um(500.0),
+    uniform_h: bool = False,
+    include_secondary: bool = True,
+    ambient: float = DEFAULT_AMBIENT_KELVIN,
+) -> CoolingConfig:
+    """Thermoelectrically assisted oil bench (paper Section 5.1.1).
+
+    "For such chips, additional cooling mechanisms other than only the
+    oil flow (e.g. thermoelectric cooling ...) might be necessary to
+    further reduce Rconv ... In that case, since Rconv is lower, the
+    short-term thermal time constant would be also shorter."
+
+    Modelled as the oil bench with the overall oil-side resistance
+    divided by ``resistance_reduction`` (the TEC pumping heat across
+    the boundary), preserving the h(x) profile shape.  The shortened
+    time constant falls out of the model exactly as the paper argues.
+    """
+    if resistance_reduction < 1.0:
+        raise ConfigurationError("resistance_reduction must be >= 1")
+    base_flow = FlowSpec(velocity=velocity, direction=direction)
+    length_w, length_h = die_width, die_height
+    base_resistance = base_flow.overall_resistance(length_w, length_h)
+    config = oil_silicon_package(
+        die_width, die_height, velocity=velocity, direction=direction,
+        die_thickness=die_thickness, uniform_h=uniform_h,
+        target_resistance=base_resistance / resistance_reduction,
+        include_secondary=include_secondary, ambient=ambient,
+    )
+    return CoolingConfig(
+        name=f"OIL+TEC(x{resistance_reduction:g})",
+        die=config.die,
+        layers_above=config.layers_above,
+        top_boundary=config.top_boundary,
+        secondary=config.secondary,
+        ambient=ambient,
+    )
+
+
+def standard_package_menu(
+    die_width: float,
+    die_height: float,
+    ambient: float = DEFAULT_AMBIENT_KELVIN,
+) -> dict:
+    """The Section 2.1 menu, name -> CoolingConfig, for sweeps."""
+    return {
+        "AIR-SINK": air_sink_package(
+            die_width, die_height, convection_resistance=1.0,
+            ambient=ambient,
+        ),
+        "NATURAL": natural_convection_package(
+            die_width, die_height, ambient=ambient
+        ),
+        "OIL-SILICON": oil_silicon_package(
+            die_width, die_height, uniform_h=True, ambient=ambient
+        ),
+        "OIL+TEC": tec_assisted_oil_package(
+            die_width, die_height, ambient=ambient
+        ),
+        "WATER-PLATE": water_cooled_package(
+            die_width, die_height, ambient=ambient
+        ),
+        "MICROCHANNEL": microchannel_package(
+            die_width, die_height, ambient=ambient
+        ),
+    }

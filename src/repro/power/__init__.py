@@ -1,0 +1,19 @@
+"""Power traces and synthetic power workloads."""
+
+from .trace import PowerTrace
+from .synthetic import (
+    constant_power,
+    step_power,
+    pulse_train,
+    power_handoff,
+    random_phase_power,
+)
+
+__all__ = [
+    "PowerTrace",
+    "constant_power",
+    "step_power",
+    "pulse_train",
+    "power_handoff",
+    "random_phase_power",
+]

@@ -1,0 +1,206 @@
+"""Generic thermal RC networks.
+
+A thermal network is an undirected graph of nodes with thermal
+capacitances, conductances between node pairs, and conductances from
+individual nodes to the ambient (a Dirichlet boundary folded out of the
+system).  Writing ``x = T - T_ambient`` for the vector of temperature
+rises:
+
+* steady state:  ``A x = P``
+* transient:     ``C dx/dt = P(t) - A x``
+
+where ``A = L + diag(g_amb)`` combines the graph Laplacian ``L`` of the
+inter-node conductances with the per-node ambient conductances.  ``A``
+is symmetric and, whenever at least one node reaches ambient, positive
+definite -- properties the tests assert and the solvers rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import ModelBuildError
+from ..units import require_non_negative
+
+
+class ThermalNetwork:
+    """An assembled thermal RC network (see module docstring)."""
+
+    def __init__(
+        self,
+        conductance: sparse.spmatrix,
+        ambient_conductance: np.ndarray,
+        capacitance: np.ndarray,
+        node_labels: Optional[Dict[str, int]] = None,
+    ) -> None:
+        n = conductance.shape[0]
+        if conductance.shape != (n, n):
+            raise ModelBuildError("conductance matrix must be square")
+        if ambient_conductance.shape != (n,) or capacitance.shape != (n,):
+            raise ModelBuildError("vector lengths do not match matrix size")
+        if np.any(capacitance <= 0):
+            raise ModelBuildError("every node needs positive capacitance")
+        if np.any(ambient_conductance < 0):
+            raise ModelBuildError("ambient conductances must be >= 0")
+        if ambient_conductance.sum() <= 0:
+            raise ModelBuildError(
+                "no path to ambient: the steady-state problem is singular"
+            )
+        self._laplacian = conductance.tocsr()
+        self.ambient_conductance = ambient_conductance
+        self.capacitance = capacitance
+        self.node_labels = dict(node_labels or {})
+        self._system: Optional[sparse.csc_matrix] = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the network (ambient excluded)."""
+        return self._laplacian.shape[0]
+
+    @property
+    def laplacian(self) -> sparse.csr_matrix:
+        """Graph Laplacian of inter-node conductances (no ambient)."""
+        return self._laplacian
+
+    @property
+    def system_matrix(self) -> sparse.csc_matrix:
+        """``A = L + diag(g_amb)``, cached in CSC form for factorization."""
+        if self._system is None:
+            self._system = (
+                self._laplacian + sparse.diags(self.ambient_conductance)
+            ).tocsc()
+        return self._system
+
+    def total_ambient_conductance(self) -> float:
+        """Sum of all conductances to ambient, W/K."""
+        return float(self.ambient_conductance.sum())
+
+    def total_capacitance(self) -> float:
+        """Sum of all node capacitances, J/K."""
+        return float(self.capacitance.sum())
+
+    def heat_to_ambient(self, rise: np.ndarray) -> float:
+        """Total heat flow into the ambient for a temperature-rise state."""
+        return float(self.ambient_conductance @ rise)
+
+
+class NetworkBuilder:
+    """Incremental construction of a :class:`ThermalNetwork`.
+
+    Conductances between the same node pair accumulate (parallel
+    combination); capacitance added to the same node accumulates too.
+    """
+
+    def __init__(self) -> None:
+        self._capacitance: List[float] = []
+        self._labels: Dict[str, int] = {}
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._vals: List[float] = []
+        self._amb_nodes: List[int] = []
+        self._amb_vals: List[float] = []
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes added so far."""
+        return len(self._capacitance)
+
+    def add_node(self, capacitance: float, label: Optional[str] = None) -> int:
+        """Add one node; returns its index."""
+        require_non_negative("capacitance", capacitance)
+        index = len(self._capacitance)
+        self._capacitance.append(float(capacitance))
+        if label is not None:
+            if label in self._labels:
+                raise ModelBuildError(f"duplicate node label {label!r}")
+            self._labels[label] = index
+        return index
+
+    def add_nodes(self, capacitances: Sequence[float]) -> np.ndarray:
+        """Add a block of nodes; returns their indices as an array."""
+        capacitances = np.asarray(capacitances, dtype=float)
+        if np.any(~np.isfinite(capacitances)) or np.any(capacitances < 0):
+            raise ModelBuildError("capacitances must be finite and >= 0")
+        start = len(self._capacitance)
+        self._capacitance.extend(capacitances.tolist())
+        return np.arange(start, start + len(capacitances))
+
+    def add_capacitance(self, node: int, capacitance: float) -> None:
+        """Add extra capacitance to an existing node (e.g. the oil layer
+        lumped onto the wetted silicon surface, paper Fig. 7(b))."""
+        require_non_negative("capacitance", capacitance)
+        self._capacitance[node] += float(capacitance)
+
+    def add_capacitances(self, nodes: np.ndarray, capacitances) -> None:
+        """Vectorized :meth:`add_capacitance`."""
+        capacitances = np.broadcast_to(
+            np.asarray(capacitances, dtype=float), np.shape(nodes)
+        )
+        for node, value in zip(np.asarray(nodes).ravel(), capacitances.ravel()):
+            self.add_capacitance(int(node), float(value))
+
+    def connect(self, a: int, b: int, conductance: float) -> None:
+        """Add a conductance (W/K) between nodes ``a`` and ``b``."""
+        if a == b:
+            raise ModelBuildError("cannot connect a node to itself")
+        require_non_negative("conductance", conductance)
+        if conductance == 0.0:
+            return
+        self._rows.append(int(a))
+        self._cols.append(int(b))
+        self._vals.append(float(conductance))
+
+    def connect_many(self, a_nodes, b_nodes, conductances) -> None:
+        """Vectorized :meth:`connect` over parallel index arrays."""
+        a_nodes = np.asarray(a_nodes).ravel()
+        b_nodes = np.asarray(b_nodes).ravel()
+        conductances = np.broadcast_to(
+            np.asarray(conductances, dtype=float), a_nodes.shape
+        )
+        for a, b, g in zip(a_nodes, b_nodes, conductances):
+            self.connect(int(a), int(b), float(g))
+
+    def to_ambient(self, node: int, conductance: float) -> None:
+        """Add a conductance from ``node`` to the ambient."""
+        require_non_negative("conductance", conductance)
+        if conductance == 0.0:
+            return
+        self._amb_nodes.append(int(node))
+        self._amb_vals.append(float(conductance))
+
+    def to_ambient_many(self, nodes, conductances) -> None:
+        """Vectorized :meth:`to_ambient`."""
+        nodes = np.asarray(nodes).ravel()
+        conductances = np.broadcast_to(
+            np.asarray(conductances, dtype=float), nodes.shape
+        )
+        for node, g in zip(nodes, conductances):
+            self.to_ambient(int(node), float(g))
+
+    def build(self) -> ThermalNetwork:
+        """Assemble the sparse Laplacian and return the network."""
+        n = len(self._capacitance)
+        if n == 0:
+            raise ModelBuildError("network has no nodes")
+        rows = np.asarray(self._rows + self._cols, dtype=int)
+        cols = np.asarray(self._cols + self._rows, dtype=int)
+        vals = np.asarray(self._vals + self._vals, dtype=float)
+        if rows.size and (rows.max() >= n or cols.max() >= n):
+            raise ModelBuildError("connection references an unknown node")
+        off_diag = sparse.coo_matrix((-vals, (rows, cols)), shape=(n, n)).tocsr()
+        degree = -np.asarray(off_diag.sum(axis=1)).ravel()
+        laplacian = off_diag + sparse.diags(degree)
+        ambient = np.zeros(n)
+        np.add.at(ambient, np.asarray(self._amb_nodes, dtype=int),
+                  np.asarray(self._amb_vals, dtype=float))
+        capacitance = np.asarray(self._capacitance, dtype=float)
+        if np.any(capacitance <= 0):
+            zero = int(np.argmin(capacitance))
+            raise ModelBuildError(
+                f"node {zero} ended up with non-positive capacitance; every "
+                f"physical node must store heat"
+            )
+        return ThermalNetwork(laplacian, ambient, capacitance, self._labels)

@@ -1,0 +1,33 @@
+"""Steady-state and transient solvers for thermal RC networks."""
+
+from .steady import steady_state, steady_block_temperatures
+from .transient import (
+    TransientResult,
+    transient_step_response,
+    transient_simulate,
+    TrapezoidalStepper,
+    BackwardEulerStepper,
+)
+from .events import PiecewiseConstantSchedule, simulate_schedule
+from .coupled import (
+    CoupledSteadyResult,
+    steady_state_with_leakage,
+    transient_with_leakage,
+)
+from .adaptive import AdaptiveTransientSolver
+
+__all__ = [
+    "steady_state",
+    "steady_block_temperatures",
+    "TransientResult",
+    "transient_step_response",
+    "transient_simulate",
+    "TrapezoidalStepper",
+    "BackwardEulerStepper",
+    "PiecewiseConstantSchedule",
+    "simulate_schedule",
+    "CoupledSteadyResult",
+    "steady_state_with_leakage",
+    "transient_with_leakage",
+    "AdaptiveTransientSolver",
+]

@@ -1,0 +1,61 @@
+"""Steady-state solution of a thermal RC network.
+
+Steady state solves ``A x = P`` for the vector of temperature rises
+``x = T - T_ambient``, where ``A`` is the symmetric positive definite
+system matrix of the network.  The sparse Cholesky-like factorization is
+delegated to SuperLU via :func:`scipy.sparse.linalg.splu` and cached on
+the network, so repeated solves (e.g. the four flow directions of the
+paper's Fig. 11, or DTM sweeps) refactor only when the network changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from ..errors import SolverError
+from ..rcmodel.grid import ThermalGridModel
+from ..rcmodel.network import ThermalNetwork
+
+_FACTOR_CACHE_ATTR = "_cached_lu_factor"
+
+
+def _factorize(network: ThermalNetwork):
+    factor = getattr(network, _FACTOR_CACHE_ATTR, None)
+    if factor is None:
+        try:
+            factor = splu(network.system_matrix)
+        except RuntimeError as exc:  # singular matrix
+            raise SolverError(f"steady-state factorization failed: {exc}") from exc
+        setattr(network, _FACTOR_CACHE_ATTR, factor)
+    return factor
+
+
+def steady_state(network: ThermalNetwork, node_power: np.ndarray) -> np.ndarray:
+    """Solve for node temperature rises given a node power vector (W)."""
+    node_power = np.asarray(node_power, dtype=float)
+    if node_power.shape != (network.n_nodes,):
+        raise SolverError(
+            f"power vector has shape {node_power.shape}, "
+            f"expected ({network.n_nodes},)"
+        )
+    rise = _factorize(network).solve(node_power)
+    if not np.all(np.isfinite(rise)):
+        raise SolverError("steady-state solve produced non-finite temperatures")
+    return rise
+
+
+def steady_block_temperatures(
+    model: ThermalGridModel,
+    block_power: Union[np.ndarray, Dict[str, float]],
+) -> Dict[str, float]:
+    """Per-block steady temperatures (Kelvin) for a power assignment.
+
+    Convenience wrapper: expands block power onto the grid, solves, and
+    aggregates back to named blocks.
+    """
+    rise = steady_state(model.network, model.node_power(block_power))
+    temps = model.block_temperatures(rise)
+    return model.floorplan.power_dict(temps)

@@ -1,0 +1,14 @@
+"""Independent reference solvers used to validate the compact RC model.
+
+The paper validates its modified HotSpot against ANSYS (finite-element
+CFD).  ANSYS is proprietary and unavailable here, so this package
+provides :class:`ReferenceFDSolver`: an independent, finer-grained 3-D
+finite-difference conduction solver with convective (Robin) boundary
+conditions, written against a completely separate code path from
+:mod:`repro.rcmodel`.  Agreement between the two solvers plays the same
+role the ANSYS comparison plays in the paper (its Figs. 2 and 3).
+"""
+
+from .reference_fd import ReferenceFDSolver, FDTransientResult
+
+__all__ = ["ReferenceFDSolver", "FDTransientResult"]

@@ -1,0 +1,123 @@
+"""Tests for IR-guided sensor calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan import GridMapping, uniform_grid_floorplan
+from repro.ircamera import IRCamera
+from repro.sensors import (
+    ThermalSensor,
+    calibrate_sensors,
+    calibration_bias_bound,
+)
+
+
+@pytest.fixture()
+def mapping():
+    plan = uniform_grid_floorplan(10e-3, 10e-3)
+    return GridMapping(plan, nx=20, ny=20)
+
+
+def make_setup(mapping, true_offsets, n_frames=50, netd=0.2, seed=0):
+    """Sensors with known offsets observing a static field through a
+    noisy camera."""
+    rng = np.random.default_rng(seed)
+    xs, ys = mapping.cell_centers()
+    field = 60.0 + 20.0 * np.exp(
+        -((xs - 5e-3) ** 2 + (ys - 5e-3) ** 2) / (2 * (2e-3) ** 2)
+    )
+    sensors = [
+        ThermalSensor(x=2e-3, y=2e-3, name="a"),
+        ThermalSensor(x=5e-3, y=5e-3, name="b"),
+        ThermalSensor(x=8e-3, y=6e-3, name="c"),
+    ]
+    fields = np.tile(field, (n_frames + 1, 1))
+    times = np.arange(n_frames + 1) * 0.01
+    camera = IRCamera(frame_rate=100.0, netd=netd, seed=seed)
+    _, frames = camera.capture(times, fields, mapping)
+    cells = [s.cell_index(mapping) for s in sensors]
+    readings = field[cells][None, :] + np.asarray(true_offsets)[None, :] \
+        + rng.normal(0, 0.05, size=(frames.shape[0], len(sensors)))
+    return sensors, readings, frames, field
+
+
+def test_recovers_known_offsets(mapping):
+    true_offsets = [1.5, -2.0, 0.7]
+    sensors, readings, frames, _field = make_setup(mapping, true_offsets)
+    result = calibrate_sensors(sensors, readings, frames, mapping)
+    np.testing.assert_allclose(
+        result.estimated_offsets, true_offsets, atol=0.15
+    )
+    # the calibrated sensors' offsets cancel the true ones
+    corrections = [s.offset for s in result.calibrated_sensors]
+    np.testing.assert_allclose(
+        corrections, [-o for o in true_offsets], atol=0.15
+    )
+
+
+def test_averaging_beats_netd(mapping):
+    true_offsets = [1.0, 1.0, 1.0]
+    # single frame: noisy estimate; many frames: tight estimate
+    _, r1, f1, _ = make_setup(mapping, true_offsets, n_frames=1, netd=1.0)
+    sensors, r50, f50, _ = make_setup(mapping, true_offsets, n_frames=100,
+                                      netd=1.0)
+    one = calibrate_sensors(sensors, r1, f1, mapping)
+    many = calibrate_sensors(sensors, r50, f50, mapping)
+    err_one = np.abs(one.estimated_offsets - 1.0).max()
+    err_many = np.abs(many.estimated_offsets - 1.0).max()
+    assert err_many < err_one + 1e-12
+    assert err_many < 0.5
+
+
+def test_blur_biases_calibration_near_hotspot(mapping):
+    # Calibrating against a blurred camera near a steep hot spot
+    # systematically underestimates: the sensor at the peak reads
+    # hotter than the blurred reference.
+    true_offsets = [0.0, 0.0, 0.0]
+    rng = np.random.default_rng(1)
+    xs, ys = mapping.cell_centers()
+    field = 60.0 + 30.0 * np.exp(
+        -((xs - 5e-3) ** 2 + (ys - 5e-3) ** 2) / (2 * (1e-3) ** 2)
+    )
+    sensors = [ThermalSensor(x=5e-3, y=5e-3, name="peak"),
+               ThermalSensor(x=1e-3, y=1e-3, name="flat")]
+    fields = np.tile(field, (21, 1))
+    times = np.arange(21) * 0.01
+    camera = IRCamera(frame_rate=100.0, blur_sigma=1.0e-3, seed=2)
+    _, frames = camera.capture(times, fields, mapping)
+    cells = [s.cell_index(mapping) for s in sensors]
+    readings = np.tile(field[cells], (frames.shape[0], 1))
+    result = calibrate_sensors(sensors, readings, frames, mapping)
+    # the peak sensor appears to have a positive offset (reads hotter
+    # than the blurred IR) even though its true offset is zero
+    assert result.estimated_offsets[0] > 1.0
+    assert abs(result.estimated_offsets[1]) < 0.3
+    # and the analytic bound captures the hierarchy
+    bound_peak = calibration_bias_bound(mapping, field, sensors[0], 1e-3)
+    bound_flat = calibration_bias_bound(mapping, field, sensors[1], 1e-3)
+    assert bound_peak > 3 * bound_flat
+    assert result.estimated_offsets[0] <= bound_peak + 0.3
+
+
+def test_validation(mapping):
+    sensors = [ThermalSensor(x=1e-3, y=1e-3)]
+    with pytest.raises(ConfigurationError):
+        calibrate_sensors(
+            sensors, np.zeros((3, 2)), np.zeros((3, mapping.n_cells)),
+            mapping,
+        )
+    with pytest.raises(ConfigurationError):
+        calibrate_sensors(
+            sensors, np.zeros((3, 1)), np.zeros((4, mapping.n_cells)),
+            mapping,
+        )
+    with pytest.raises(ConfigurationError):
+        calibrate_sensors(sensors, np.zeros((3, 1)), np.zeros((3, 7)),
+                          mapping)
+
+
+def test_zero_blur_bound_is_zero(mapping):
+    field = np.linspace(0, 100, mapping.n_cells)
+    sensor = ThermalSensor(x=5e-3, y=5e-3)
+    assert calibration_bias_bound(mapping, field, sensor, 0.0) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.floorplan import ev6_floorplan, save_flp
+from repro.power import PowerTrace
+
+
+@pytest.fixture()
+def files(tmp_path):
+    plan = ev6_floorplan()
+    flp = tmp_path / "ev6.flp"
+    save_flp(plan, flp)
+    rng = np.random.default_rng(0)
+    samples = np.abs(rng.normal(1.0, 0.2, size=(20, len(plan))))
+    trace = PowerTrace(plan.names, samples, dt=1e-4)
+    ptrace = tmp_path / "ev6.ptrace"
+    with open(ptrace, "w", encoding="utf-8") as handle:
+        trace.to_ptrace(handle)
+    return plan, str(flp), str(ptrace)
+
+
+def test_info(files, capsys):
+    plan, flp, _ = files
+    assert main(["info", "-f", flp]) == 0
+    out = capsys.readouterr().out
+    assert "18 blocks" in out
+    assert "IntReg" in out
+
+
+def test_steady_air(files, capsys):
+    _, flp, ptrace = files
+    code = main([
+        "steady", "-f", flp, "-p", ptrace, "--package", "air",
+        "--rconv", "1.0", "--grid", "8",
+    ])
+    assert code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 18
+    temps = {line.split("\t")[0]: float(line.split("\t")[1])
+             for line in lines}
+    assert all(t > 45.0 for t in temps.values())
+
+
+def test_steady_oil_with_direction(files, capsys):
+    _, flp, ptrace = files
+    code = main([
+        "steady", "-f", flp, "-p", ptrace, "--package", "oil",
+        "--direction", "top_to_bottom", "--grid", "8", "--no-secondary",
+    ])
+    assert code == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 18
+
+
+def test_steady_block_model(files, capsys):
+    _, flp, ptrace = files
+    code = main([
+        "steady", "-f", flp, "-p", ptrace, "--model", "block",
+        "--package", "oil", "--uniform-h",
+    ])
+    assert code == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 18
+
+
+def test_transient_to_file(files, tmp_path):
+    _, flp, ptrace = files
+    out = tmp_path / "out.ttrace"
+    code = main([
+        "transient", "-f", flp, "-p", ptrace, "--grid", "6",
+        "--init-steady", "-o", str(out),
+    ])
+    assert code == 0
+    lines = out.read_text().strip().splitlines()
+    assert lines[0].startswith("time_s\t")
+    assert len(lines) >= 20
+    first_row = lines[1].split("\t")
+    assert len(first_row) == 19  # time + 18 blocks
+    assert float(first_row[1]) > 45.0
+
+
+def test_missing_file_is_an_error(capsys):
+    assert main(["info", "-f", "/nonexistent.flp"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_ptrace_is_an_error(files, tmp_path, capsys):
+    _, flp, _ = files
+    bad = tmp_path / "bad.ptrace"
+    bad.write_text("a b\n1.0\n")
+    assert main(["steady", "-f", flp, "-p", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err

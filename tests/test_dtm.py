@@ -1,0 +1,219 @@
+"""Tests for DTM policies, the closed-loop controller, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dtm import (
+    ClockGating,
+    DTMController,
+    DVFS,
+    FetchThrottle,
+    engagement_statistics,
+    time_above_threshold,
+)
+from repro.dtm.metrics import cooldown_time_after_trigger, performance_penalty
+from repro.errors import ConfigurationError
+from repro.floorplan import ev6_floorplan, uniform_grid_floorplan
+from repro.package import oil_silicon_package
+from repro.power import constant_power
+from repro.rcmodel import ThermalGridModel
+from repro.sensors import SensorArray, ThermalSensor
+
+
+class TestPolicies:
+    def test_fetch_throttle_scales_targets_only(self):
+        plan = ev6_floorplan()
+        policy = FetchThrottle(0.5, targets=["Icache", "IntReg"])
+        scale = policy.power_scale_vector(plan)
+        assert scale[plan.index_of("Icache")] == 0.5
+        assert scale[plan.index_of("IntReg")] == 0.5
+        assert scale[plan.index_of("L2")] == 1.0
+        assert policy.performance_factor == 0.5
+
+    def test_dvfs_cubic_power_linear_performance(self):
+        policy = DVFS(0.8)
+        assert policy.power_factor == pytest.approx(0.8**3)
+        assert policy.performance_factor == pytest.approx(0.8)
+
+    def test_clock_gating_whole_chip(self):
+        plan = ev6_floorplan()
+        scale = ClockGating(0.25).power_scale_vector(plan)
+        np.testing.assert_allclose(scale, 0.25)
+
+    def test_unknown_target_rejected(self):
+        plan = ev6_floorplan()
+        with pytest.raises(ConfigurationError):
+            FetchThrottle(0.5, targets=["nope"]).power_scale_vector(plan)
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVFS(0.0)
+        with pytest.raises(ConfigurationError):
+            FetchThrottle(1.5)
+
+
+@pytest.fixture(scope="module")
+def hot_setup():
+    plan = uniform_grid_floorplan(10e-3, 10e-3, prefix="die")
+    config = oil_silicon_package(
+        10e-3, 10e-3, uniform_h=True, include_secondary=False, ambient=318.15
+    )
+    model = ThermalGridModel(plan, config, nx=8, ny=8)
+    sensors = SensorArray([ThermalSensor(5e-3, 5e-3)])
+    return plan, model, sensors
+
+
+class TestController:
+    def test_dtm_reduces_peak_temperature(self, hot_setup):
+        plan, model, sensors = hot_setup
+        trace = constant_power(plan, {"die": 40.0}, duration=2.0, dt=0.01)
+        threshold = 318.15 + 40.0
+        controller = DTMController(
+            model, sensors, ClockGating(0.3),
+            threshold=threshold, engagement_duration=0.1,
+        )
+        run = controller.run(trace)
+        # Without DTM the die would sit near ambient + ~90 K; the
+        # controller must hold the excursion near the threshold.
+        assert run.peak_temperature < threshold + 15.0
+        assert run.n_engagements >= 1
+        assert run.performance < 1.0
+
+    def test_no_trigger_below_threshold(self, hot_setup):
+        plan, model, sensors = hot_setup
+        trace = constant_power(plan, {"die": 1.0}, duration=0.5, dt=0.01)
+        controller = DTMController(
+            model, sensors, ClockGating(0.3),
+            threshold=318.15 + 50.0, engagement_duration=0.1,
+        )
+        run = controller.run(trace)
+        assert run.n_engagements == 0
+        assert run.performance == pytest.approx(1.0)
+        assert run.engaged_fraction == 0.0
+
+    def test_threshold_must_exceed_ambient(self, hot_setup):
+        plan, model, sensors = hot_setup
+        with pytest.raises(ConfigurationError):
+            DTMController(
+                model, sensors, ClockGating(0.5),
+                threshold=300.0, engagement_duration=0.1,
+            )
+
+    def test_sampling_interval_delays_detection(self, hot_setup):
+        plan, model, sensors = hot_setup
+        trace = constant_power(plan, {"die": 40.0}, duration=1.0, dt=0.01)
+        threshold = 318.15 + 30.0
+        fast = DTMController(
+            model, sensors, ClockGating(0.3), threshold,
+            engagement_duration=0.05, sampling_interval=0.01,
+        ).run(trace)
+        slow = DTMController(
+            model, sensors, ClockGating(0.3), threshold,
+            engagement_duration=0.05, sampling_interval=0.2,
+        ).run(trace)
+        assert slow.peak_temperature >= fast.peak_temperature - 1e-9
+
+
+class TestMetrics:
+    def test_time_above_threshold(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        temps = np.array([10.0, 20.0, 20.0, 10.0])
+        assert time_above_threshold(times, temps, 15.0) == pytest.approx(2.0)
+
+    def test_engagement_statistics(self):
+        times = np.arange(10) * 0.1
+        engaged = np.array([0, 1, 1, 0, 0, 1, 1, 1, 0, 0], dtype=bool)
+        stats = engagement_statistics(times, engaged)
+        assert stats.count == 2
+        assert stats.total_time == pytest.approx(0.5)
+        assert stats.longest == pytest.approx(0.3)
+
+    def test_engagement_statistics_empty(self):
+        stats = engagement_statistics(np.arange(5.0), np.zeros(5, bool))
+        assert stats.count == 0 and stats.total_time == 0.0
+
+    def test_cooldown_time(self):
+        times = np.linspace(0, 10, 101)
+        temps = np.where(times < 2, 50.0, 50.0 * np.exp(-(times - 2)))
+        t = cooldown_time_after_trigger(times, temps, threshold=40.0,
+                                        margin=1.0)
+        # crosses at t=0 (50 >= 40), drops below 39 when 50 e^-(t-2) < 39
+        expected = 2.0 + np.log(50.0 / 39.0)
+        assert t == pytest.approx(expected, abs=0.2)
+
+    def test_cooldown_never_crossed(self):
+        times = np.linspace(0, 1, 10)
+        assert np.isnan(
+            cooldown_time_after_trigger(times, np.zeros(10), 10.0)
+        )
+
+    def test_performance_penalty(self):
+        assert performance_penalty(0.9) == pytest.approx(0.1)
+        with pytest.raises(ConfigurationError):
+            performance_penalty(1.5)
+
+
+class TestPredictiveController:
+    @pytest.fixture()
+    def setup(self, hot_setup):
+        plan, model, sensors = hot_setup
+        trace = constant_power(plan, {"die": 40.0}, duration=1.0, dt=0.01)
+        threshold = 318.15 + 30.0
+        return plan, model, sensors, trace, threshold
+
+    def test_preempts_the_violation(self, setup):
+        from repro.dtm import PredictiveDTMController
+        _, model, sensors, trace, threshold = setup
+        kwargs = dict(threshold=threshold, engagement_duration=0.05)
+        reactive = DTMController(
+            model, sensors, ClockGating(0.2), **kwargs
+        ).run(trace)
+        predictive = PredictiveDTMController(
+            model, sensors, ClockGating(0.2), horizon=0.05, **kwargs
+        ).run(trace)
+        # forecasting engages earlier and caps the peak lower (or at
+        # worst equal)
+        assert predictive.peak_temperature <= reactive.peak_temperature
+        from repro.dtm import time_above_threshold
+        v_pred = time_above_threshold(
+            predictive.times, predictive.true_max, threshold
+        )
+        v_react = time_above_threshold(
+            reactive.times, reactive.true_max, threshold
+        )
+        assert v_pred <= v_react
+
+    def test_zero_horizon_matches_reactive(self, setup):
+        from repro.dtm import PredictiveDTMController
+        _, model, sensors, trace, threshold = setup
+        kwargs = dict(threshold=threshold, engagement_duration=0.05)
+        reactive = DTMController(
+            model, sensors, ClockGating(0.2), **kwargs
+        ).run(trace)
+        degenerate = PredictiveDTMController(
+            model, sensors, ClockGating(0.2), horizon=0.0, **kwargs
+        ).run(trace)
+        np.testing.assert_allclose(
+            degenerate.true_max, reactive.true_max, rtol=1e-9
+        )
+        assert degenerate.performance == pytest.approx(reactive.performance)
+
+    def test_no_power_no_engagement(self, setup):
+        from repro.dtm import PredictiveDTMController
+        plan, model, sensors, trace, threshold = setup
+        idle = constant_power(plan, {"die": 0.5}, duration=0.3, dt=0.01)
+        run = PredictiveDTMController(
+            model, sensors, ClockGating(0.2), threshold=threshold,
+            engagement_duration=0.05, horizon=0.1,
+        ).run(idle)
+        assert run.n_engagements == 0
+        assert run.performance == pytest.approx(1.0)
+
+    def test_validation(self, setup):
+        from repro.dtm import PredictiveDTMController
+        _, model, sensors, _, threshold = setup
+        with pytest.raises(ConfigurationError):
+            PredictiveDTMController(
+                model, sensors, ClockGating(0.2), threshold=threshold,
+                engagement_duration=0.05, horizon=-1.0,
+            )

@@ -1,0 +1,49 @@
+"""Smoke tests for the runnable examples.
+
+Each example must at least import cleanly; the quickest one is run end
+to end.  (The longer studies are exercised indirectly: they are thin
+drivers over the experiment modules the benchmark suite runs in full.)
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+ALL_EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_all_expected_examples_present():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 4  # the deliverable: >= 3 runnable examples
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_and_defines_main(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), \
+        f"{name} must define main()"
+    assert module.__doc__, f"{name} must document itself"
+
+
+def test_quickstart_runs_end_to_end():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "steady-state block temperatures" in result.stdout
+    assert "IntReg" in result.stdout

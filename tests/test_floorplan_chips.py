@@ -1,0 +1,89 @@
+"""Tests for the EV6 and Athlon floorplans the paper's experiments use."""
+
+import pytest
+
+from repro.floorplan import (
+    ATHLON_BLOCK_NAMES,
+    EV6_BLOCK_NAMES,
+    athlon_floorplan,
+    athlon_reference_power,
+    ev6_floorplan,
+)
+
+
+class TestEV6:
+    def test_has_the_papers_18_blocks(self):
+        plan = ev6_floorplan()
+        assert plan.names == EV6_BLOCK_NAMES
+        assert len(plan) == 18
+
+    def test_die_is_16mm_square(self):
+        plan = ev6_floorplan()
+        assert plan.die_width == pytest.approx(16e-3)
+        assert plan.die_height == pytest.approx(16e-3)
+
+    def test_tiling_is_exact(self):
+        plan = ev6_floorplan()
+        plan.check_non_overlapping()
+        assert plan.coverage_fraction() == pytest.approx(1.0, abs=1e-9)
+
+    def test_intreg_touches_top_edge(self):
+        # The Fig. 11 flow-direction result depends on this adjacency.
+        plan = ev6_floorplan()
+        assert plan["IntReg"].y2 == pytest.approx(plan.die_height)
+
+    def test_intreg_is_small_and_dense_capable(self):
+        plan = ev6_floorplan()
+        assert plan["IntReg"].area < 1.5e-6  # ~1.1 mm^2
+
+    def test_dcache_is_further_from_top_edge_than_intreg(self):
+        plan = ev6_floorplan()
+        dist = lambda b: plan.die_height - b.center[1]  # noqa: E731
+        assert dist(plan["Dcache"]) > 3 * dist(plan["IntReg"])
+
+    def test_l2_occupies_most_of_the_die(self):
+        plan = ev6_floorplan()
+        l2_area = sum(
+            plan[name].area for name in ("L2", "L2_left", "L2_right")
+        )
+        assert l2_area > 0.6 * plan.die_area
+
+
+class TestAthlon:
+    def test_has_the_papers_21_blocks(self):
+        plan = athlon_floorplan()
+        assert set(plan.names) == set(ATHLON_BLOCK_NAMES)
+
+    def test_tiling_is_exact(self):
+        plan = athlon_floorplan()
+        plan.check_non_overlapping()
+        assert plan.coverage_fraction() == pytest.approx(1.0, abs=1e-9)
+
+    def test_blanks_are_on_the_die_edge(self):
+        plan = athlon_floorplan()
+        for name in ("blank1", "blank2", "blank3", "blank4"):
+            block = plan[name]
+            on_edge = (
+                block.x == 0.0
+                or block.y == 0.0
+                or block.x2 == pytest.approx(plan.die_width)
+                or block.y2 == pytest.approx(plan.die_height)
+            )
+            assert on_edge, f"{name} is not on the die edge"
+
+    def test_reference_power_covers_all_blocks(self):
+        plan = athlon_floorplan()
+        powers = athlon_reference_power()
+        assert set(powers) == set(plan.names)
+        assert all(p >= 0 for p in powers.values())
+
+    def test_sched_has_highest_power_density(self):
+        plan = athlon_floorplan()
+        powers = athlon_reference_power()
+        density = {n: powers[n] / plan[n].area for n in plan.names}
+        assert max(density, key=density.get) == "sched"
+
+    def test_reference_power_returns_a_copy(self):
+        first = athlon_reference_power()
+        first["sched"] = 0.0
+        assert athlon_reference_power()["sched"] > 0

@@ -1,0 +1,65 @@
+"""Tests for HotSpot .flp parsing and serialization."""
+
+import pytest
+
+from repro.errors import FloorplanParseError
+from repro.floorplan import ev6_floorplan, format_flp, load_flp, parse_flp, save_flp
+
+SAMPLE = """
+# a comment line
+unit_a\t1.0e-3\t2.0e-3\t0.0\t0.0
+unit_b 1.0e-3 2.0e-3 1.0e-3 0.0  # trailing comment
+"""
+
+
+def test_parse_basic():
+    plan = parse_flp(SAMPLE)
+    assert plan.names == ["unit_a", "unit_b"]
+    assert plan["unit_b"].x == pytest.approx(1.0e-3)
+    assert plan["unit_a"].height == pytest.approx(2.0e-3)
+
+
+def test_parse_rejects_short_lines():
+    with pytest.raises(FloorplanParseError):
+        parse_flp("unit_a 1.0 2.0 0.0\n")
+
+
+def test_parse_rejects_non_numeric():
+    with pytest.raises(FloorplanParseError):
+        parse_flp("unit_a one 2.0 0.0 0.0\n")
+
+
+def test_parse_rejects_empty():
+    with pytest.raises(FloorplanParseError):
+        parse_flp("# only comments\n\n")
+
+
+def test_round_trip_preserves_geometry():
+    original = ev6_floorplan()
+    text = format_flp(original)
+    parsed = parse_flp(
+        text, die_width=original.die_width, die_height=original.die_height
+    )
+    assert parsed.names == original.names
+    for name in original.names:
+        assert parsed[name].area == pytest.approx(original[name].area)
+        assert parsed[name].x == pytest.approx(original[name].x)
+        assert parsed[name].y == pytest.approx(original[name].y)
+
+
+def test_file_round_trip(tmp_path):
+    plan = ev6_floorplan()
+    path = tmp_path / "ev6.flp"
+    save_flp(plan, path)
+    loaded = load_flp(path, die_width=plan.die_width, die_height=plan.die_height)
+    assert loaded.names == plan.names
+    assert loaded.name == "ev6"
+
+
+def test_format_header_optional():
+    plan = parse_flp(SAMPLE)
+    with_header = format_flp(plan, header=True)
+    without = format_flp(plan, header=False)
+    assert with_header.startswith("#")
+    assert not without.startswith("#")
+    assert len(without.splitlines()) == 2

@@ -1,0 +1,177 @@
+"""Tests for the grid thermal model assembly and its physics."""
+
+import numpy as np
+import pytest
+
+from repro.convection import convection_resistance
+from repro.errors import ConfigurationError
+from repro.floorplan import ev6_floorplan, uniform_grid_floorplan
+from repro.materials import MINERAL_OIL
+from repro.package import air_sink_package, oil_silicon_package
+from repro.rcmodel import ThermalGridModel
+from repro.solver import steady_state
+
+L = 20e-3
+AREA = L * L
+
+
+@pytest.fixture(scope="module")
+def oil_model():
+    plan = uniform_grid_floorplan(L, L, prefix="die")
+    config = oil_silicon_package(
+        L, L, velocity=10.0, uniform_h=True,
+        include_secondary=False, ambient=300.0,
+    )
+    return ThermalGridModel(plan, config, nx=16, ny=16)
+
+
+@pytest.fixture(scope="module")
+def air_model():
+    plan = uniform_grid_floorplan(L, L, prefix="die")
+    config = air_sink_package(L, L, convection_resistance=1.0, ambient=300.0)
+    return ThermalGridModel(plan, config, nx=16, ny=16)
+
+
+def test_oil_node_count(oil_model):
+    # bare die: one silicon grid layer only
+    assert oil_model.n_nodes == 16 * 16
+
+
+def test_air_layers_present(air_model):
+    assert set(air_model.layer_nodes) == {
+        "silicon", "interface", "spreader", "sink"
+    }
+    assert len(air_model.layer_nodes["spreader"].rings) == 1
+    assert len(air_model.layer_nodes["sink"].rings) == 2
+
+
+def test_total_ambient_conductance_matches_rconv(air_model, oil_model):
+    # AIR-SINK distributes exactly 1/Rconv over the sink surface.
+    assert air_model.network.total_ambient_conductance() == pytest.approx(1.0)
+    # OIL-SILICON's total conductance equals h_L * A (Eqn 1).
+    rconv = convection_resistance(10.0, L, AREA, MINERAL_OIL)
+    assert oil_model.network.total_ambient_conductance() == pytest.approx(
+        1.0 / rconv, rel=1e-9
+    )
+
+
+def test_oil_steady_average_rise_equals_p_times_rconv(oil_model):
+    # With uniform h and no secondary path, energy balance forces the
+    # area-average surface rise to exactly P * Rconv.
+    power = oil_model.node_power({"die": 200.0})
+    rise = steady_state(oil_model.network, power)
+    rconv = convection_resistance(10.0, L, AREA, MINERAL_OIL)
+    assert oil_model.silicon_cell_rise(rise).mean() == pytest.approx(
+        200.0 * rconv, rel=1e-6
+    )
+
+
+def test_energy_conservation_steady(air_model):
+    power = air_model.node_power({"die": 150.0})
+    rise = steady_state(air_model.network, power)
+    assert air_model.network.heat_to_ambient(rise) == pytest.approx(
+        150.0, rel=1e-9
+    )
+
+
+def test_air_hotter_than_ambient_everywhere(air_model):
+    rise = steady_state(air_model.network, air_model.node_power({"die": 50.0}))
+    assert np.all(rise > 0)
+
+
+def test_node_power_accepts_dict_and_vector(oil_model):
+    by_name = oil_model.node_power({"die": 10.0})
+    by_vector = oil_model.node_power(np.array([10.0]))
+    np.testing.assert_allclose(by_name, by_vector)
+    assert by_name.sum() == pytest.approx(10.0)
+
+
+def test_block_temperatures_offset_by_ambient(oil_model):
+    power = oil_model.node_power({"die": 100.0})
+    rise = steady_state(oil_model.network, power)
+    temps = oil_model.block_temperatures(rise)
+    np.testing.assert_allclose(
+        temps, oil_model.block_rise(rise) + 300.0
+    )
+
+
+def test_silicon_sublayers_resolve_through_die_gradient():
+    plan = uniform_grid_floorplan(L, L, prefix="die")
+    config = oil_silicon_package(
+        L, L, velocity=10.0, uniform_h=True,
+        include_secondary=False, ambient=300.0,
+    )
+    model = ThermalGridModel(plan, config, nx=8, ny=8, silicon_sublayers=3)
+    rise = steady_state(model.network, model.node_power({"die": 200.0}))
+    bottom = model.silicon_cell_rise(rise).mean()
+    top = model.surface_cell_rise(rise).mean()
+    # power enters at the bottom, oil cools the top: bottom is hotter
+    assert bottom > top
+    # and the difference matches conduction through ~2/3 of the die:
+    # q * (2/3) * t / k = 5e5 * 3.33e-4 / 100 ~ 1.7 K
+    assert bottom - top == pytest.approx(
+        (200.0 / AREA) * (2.0 / 3.0) * 0.5e-3 / 100.0, rel=0.05
+    )
+
+
+def test_sublayers_require_positive_count():
+    plan = uniform_grid_floorplan(L, L, prefix="die")
+    config = oil_silicon_package(L, L, include_secondary=False)
+    with pytest.raises(ConfigurationError):
+        ThermalGridModel(plan, config, nx=4, ny=4, silicon_sublayers=0)
+
+
+def test_local_h_on_extended_layer_rejected():
+    # direction-dependent h(x) is only defined over the bare die; a
+    # secondary path ending in a non-uniform flow must be rejected.
+    from repro.convection.flow import FlowSpec
+    from repro.package.config import SecondaryPath
+    from repro.package.layers import ConvectionBoundary, Layer
+    from repro.materials import PCB
+
+    plan = uniform_grid_floorplan(L, L, prefix="die")
+    bad_secondary = SecondaryPath(
+        layers=(
+            Layer("pcb", PCB, 1.6e-3,
+                  footprint_width=50e-3, footprint_height=50e-3),
+        ),
+        boundary=ConvectionBoundary(flow=FlowSpec(uniform=False)),
+    )
+    config = oil_silicon_package(L, L, include_secondary=False)
+    config = type(config)(
+        name=config.name, die=config.die, layers_above=(),
+        top_boundary=config.top_boundary, secondary=bad_secondary,
+        ambient=300.0,
+    )
+    with pytest.raises(ConfigurationError):
+        ThermalGridModel(plan, config, nx=4, ny=4)
+
+
+def test_grid_refinement_converges():
+    plan = uniform_grid_floorplan(L, L, prefix="die")
+    config = oil_silicon_package(
+        L, L, uniform_h=True, include_secondary=False, ambient=300.0
+    )
+    results = []
+    for n in (8, 16, 32):
+        model = ThermalGridModel(plan, config, nx=n, ny=n)
+        rise = steady_state(model.network, model.node_power({"die": 100.0}))
+        results.append(model.silicon_cell_rise(rise).max())
+    # successive refinements move less and less
+    assert abs(results[2] - results[1]) < abs(results[1] - results[0]) + 1e-9
+    assert results[2] == pytest.approx(results[1], rel=0.02)
+
+
+def test_ev6_with_full_package_builds_and_solves():
+    plan = ev6_floorplan()
+    config = oil_silicon_package(
+        plan.die_width, plan.die_height, include_secondary=True
+    )
+    model = ThermalGridModel(plan, config, nx=16, ny=16)
+    power = model.node_power({"IntReg": 2.0})
+    rise = steady_state(model.network, power)
+    temps = model.block_rise(rise)
+    hottest = plan.names[int(np.argmax(temps))]
+    assert hottest == "IntReg"
+    # with the secondary path, some heat leaves through the board side
+    assert model.network.heat_to_ambient(rise) == pytest.approx(2.0, rel=1e-9)

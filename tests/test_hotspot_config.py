@@ -1,0 +1,94 @@
+"""Tests for HotSpot config-file compatibility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.package import (
+    air_sink_package,
+    format_hotspot_config,
+    hotspot_equivalent_keys,
+    oil_silicon_package,
+    parse_hotspot_config,
+)
+from repro.package.hotspot_config import HOTSPOT_DEFAULTS
+
+SAMPLE = """
+# HotSpot-style configuration
+t_chip      0.0005
+-s_sink     0.06
+t_sink      0.0069
+s_spreader  0.03
+t_spreader  0.001
+t_interface 2.0e-05
+r_convec    0.8
+c_convec    140.4
+ambient     318.15
+grid_rows   64          # a solver knob this library sets elsewhere
+"""
+
+
+def test_parse_values_and_unknowns():
+    config = parse_hotspot_config(SAMPLE)
+    assert config.get("t_chip") == pytest.approx(0.5e-3)
+    assert config.get("s_sink") == pytest.approx(0.06)  # -key form
+    assert config.get("r_convec") == pytest.approx(0.8)
+    assert config.unknown == {"grid_rows": "64"}
+
+
+def test_defaults_fill_missing_keys():
+    config = parse_hotspot_config("r_convec 0.5\n")
+    assert config.get("r_convec") == 0.5
+    assert config.get("t_sink") == HOTSPOT_DEFAULTS["t_sink"]
+
+
+def test_build_package_round_trip():
+    config = parse_hotspot_config(SAMPLE)
+    package = config.build_package(16e-3, 16e-3)
+    assert package.name == "AIR-SINK"
+    assert package.die.thickness == pytest.approx(0.5e-3)
+    assert package.top_boundary.total_resistance == pytest.approx(0.8)
+    assert package.ambient == pytest.approx(318.15)
+    # and back out again
+    recovered = hotspot_equivalent_keys(package)
+    for key in ("t_chip", "s_sink", "t_spreader", "r_convec", "ambient"):
+        assert recovered.get(key) == pytest.approx(config.get(key))
+
+
+def test_format_round_trip():
+    config = parse_hotspot_config(SAMPLE)
+    text = format_hotspot_config(config)
+    reparsed = parse_hotspot_config(text)
+    for key in HOTSPOT_DEFAULTS:
+        assert reparsed.get(key) == pytest.approx(config.get(key))
+
+
+def test_built_package_solves():
+    import numpy as np
+    from repro.floorplan import ev6_floorplan
+    from repro.rcmodel import ThermalGridModel
+    from repro.solver import steady_state
+    plan = ev6_floorplan()
+    config = parse_hotspot_config("r_convec 0.8\nt_chip 0.0005\n")
+    package = config.build_package(plan.die_width, plan.die_height)
+    model = ThermalGridModel(plan, package, nx=8, ny=8)
+    rise = steady_state(model.network, model.node_power({"IntReg": 5.0}))
+    assert model.network.heat_to_ambient(rise) == pytest.approx(5.0)
+
+
+def test_parse_errors():
+    with pytest.raises(ConfigurationError):
+        parse_hotspot_config("t_chip\n")
+    with pytest.raises(ConfigurationError):
+        parse_hotspot_config("t_chip half_a_millimeter\n")
+
+
+def test_oil_config_cannot_be_expressed():
+    package = oil_silicon_package(16e-3, 16e-3)
+    with pytest.raises(ConfigurationError):
+        hotspot_equivalent_keys(package)
+
+
+def test_unknown_key_get_rejected():
+    config = parse_hotspot_config("")
+    with pytest.raises(ConfigurationError):
+        config.get("grid_rows")

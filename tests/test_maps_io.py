@@ -1,0 +1,115 @@
+"""Tests for map rendering and interchange utilities."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    block_table,
+    map_from_csv,
+    map_to_csv,
+    render_ascii_map,
+)
+from repro.errors import ReproError
+
+
+class TestAsciiRender:
+    def test_orientation_and_scale(self):
+        # the hottest row is at y-max and must be printed FIRST
+        matrix = np.array([[0.0, 0.0], [100.0, 100.0]])
+        text = render_ascii_map(matrix)
+        lines = text.splitlines()
+        assert lines[0] == "@@"
+        assert lines[1] == "  "
+
+    def test_title_and_limits(self):
+        matrix = np.array([[10.0, 20.0]])
+        text = render_ascii_map(matrix, title="map")
+        assert text.splitlines()[0] == "map  [10.0 .. 20.0]"
+
+    def test_shared_scale_clips(self):
+        matrix = np.array([[0.0, 200.0]])
+        text = render_ascii_map(matrix, vmin=50.0, vmax=100.0)
+        line = text.splitlines()[-1]
+        assert line[0] == " "   # below vmin clips to coolest
+        assert line[1] == "@"   # above vmax clips to hottest
+
+    def test_constant_map_does_not_divide_by_zero(self):
+        matrix = np.full((3, 3), 42.0)
+        text = render_ascii_map(matrix)
+        assert len(text.splitlines()) == 3
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ReproError):
+            render_ascii_map(np.zeros(5))
+
+
+class TestCsv:
+    def test_round_trip(self):
+        matrix = np.random.default_rng(0).random((4, 6)) * 100
+        buffer = io.StringIO()
+        map_to_csv(matrix, buffer)
+        buffer.seek(0)
+        loaded = map_from_csv(buffer)
+        np.testing.assert_allclose(loaded, matrix, rtol=1e-5)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ReproError):
+            map_from_csv(io.StringIO("1,2,3\n1,2\n"))
+
+    def test_rejects_empty_and_garbage(self):
+        with pytest.raises(ReproError):
+            map_from_csv(io.StringIO(""))
+        with pytest.raises(ReproError):
+            map_from_csv(io.StringIO("1,x\n"))
+
+
+class TestBlockTable:
+    def test_alignment_and_sorting(self):
+        columns = {
+            "oil": {"a": 100.0, "b": 50.0},
+            "air": {"a": 70.0, "b": 60.0},
+        }
+        text = block_table(columns, sort_by="oil")
+        lines = text.splitlines()
+        assert lines[0].split() == ["block", "oil", "air"]
+        assert lines[1].startswith("a")  # hottest under oil first
+        assert "100.0" in lines[1]
+
+    def test_mismatched_blocks_rejected(self):
+        with pytest.raises(ReproError):
+            block_table({"x": {"a": 1.0}, "y": {"b": 1.0}})
+
+    def test_unknown_sort_column_rejected(self):
+        with pytest.raises(ReproError):
+            block_table({"x": {"a": 1.0}}, sort_by="nope")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            block_table({})
+
+
+def test_cli_render(tmp_path, capsys):
+    from repro.cli import main
+    from repro.floorplan import ev6_floorplan, save_flp
+    from repro.power import PowerTrace
+
+    plan = ev6_floorplan()
+    flp = tmp_path / "ev6.flp"
+    save_flp(plan, flp)
+    trace = PowerTrace(plan.names, np.ones((4, len(plan))), dt=1e-4)
+    ptrace = tmp_path / "ev6.ptrace"
+    with open(ptrace, "w", encoding="utf-8") as handle:
+        trace.to_ptrace(handle)
+    csv = tmp_path / "map.csv"
+    code = main([
+        "render", "-f", str(flp), "-p", str(ptrace), "--grid", "12",
+        "--package", "oil", "--uniform-h", "--csv", str(csv),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "OIL-SILICON steady (C)" in out
+    assert len(out.splitlines()) == 13  # title + 12 rows
+    loaded = map_from_csv(open(csv))
+    assert loaded.shape == (12, 12)

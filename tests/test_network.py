@@ -1,0 +1,135 @@
+"""Tests for the generic thermal RC network builder."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ModelBuildError
+from repro.rcmodel import NetworkBuilder
+
+
+def build_two_node():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0, label="a")
+    b = builder.add_node(2.0, label="b")
+    builder.connect(a, b, 0.5)
+    builder.to_ambient(b, 0.25)
+    return builder.build(), a, b
+
+
+def test_basic_build():
+    net, a, b = build_two_node()
+    assert net.n_nodes == 2
+    assert net.node_labels == {"a": 0, "b": 1}
+    np.testing.assert_allclose(net.capacitance, [1.0, 2.0])
+    np.testing.assert_allclose(net.ambient_conductance, [0.0, 0.25])
+
+
+def test_laplacian_structure():
+    net, a, b = build_two_node()
+    lap = net.laplacian.toarray()
+    np.testing.assert_allclose(lap, [[0.5, -0.5], [-0.5, 0.5]])
+    # rows sum to zero: pure inter-node conduction conserves heat
+    np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-15)
+
+
+def test_system_matrix_is_symmetric_positive_definite():
+    net, _, _ = build_two_node()
+    a = net.system_matrix.toarray()
+    np.testing.assert_allclose(a, a.T)
+    eigvals = np.linalg.eigvalsh(a)
+    assert np.all(eigvals > 0)
+
+
+def test_parallel_conductances_accumulate():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    b = builder.add_node(1.0)
+    builder.connect(a, b, 0.5)
+    builder.connect(b, a, 0.5)  # same pair, either order
+    builder.to_ambient(a, 1.0)
+    net = builder.build()
+    assert net.laplacian[0, 1] == pytest.approx(-1.0)
+
+
+def test_zero_conductance_is_ignored():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    builder.add_node(1.0)
+    builder.connect(a, 1, 0.0)
+    builder.to_ambient(a, 1.0)
+    net = builder.build()
+    assert net.laplacian.nnz == 0
+
+
+def test_self_connection_rejected():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    with pytest.raises(ModelBuildError):
+        builder.connect(a, a, 1.0)
+
+
+def test_duplicate_labels_rejected():
+    builder = NetworkBuilder()
+    builder.add_node(1.0, label="x")
+    with pytest.raises(ModelBuildError):
+        builder.add_node(1.0, label="x")
+
+
+def test_no_ambient_path_rejected():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    b = builder.add_node(1.0)
+    builder.connect(a, b, 1.0)
+    with pytest.raises(ModelBuildError):
+        builder.build()
+
+
+def test_negative_conductance_rejected():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    builder.add_node(1.0)
+    with pytest.raises(ValueError):
+        builder.connect(a, 1, -1.0)
+
+
+def test_add_capacitance_accumulates():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    builder.add_capacitance(a, 0.5)
+    builder.to_ambient(a, 1.0)
+    net = builder.build()
+    assert net.capacitance[0] == pytest.approx(1.5)
+
+
+def test_vectorized_builders_match_scalar():
+    b1 = NetworkBuilder()
+    nodes = b1.add_nodes([1.0, 1.0, 1.0])
+    b1.connect_many(nodes[:-1], nodes[1:], [0.5, 0.25])
+    b1.to_ambient_many(nodes, 0.1)
+    net1 = b1.build()
+
+    b2 = NetworkBuilder()
+    for _ in range(3):
+        b2.add_node(1.0)
+    b2.connect(0, 1, 0.5)
+    b2.connect(1, 2, 0.25)
+    for i in range(3):
+        b2.to_ambient(i, 0.1)
+    net2 = b2.build()
+
+    np.testing.assert_allclose(
+        net1.system_matrix.toarray(), net2.system_matrix.toarray()
+    )
+
+
+def test_heat_to_ambient():
+    net, _, _ = build_two_node()
+    rise = np.array([3.0, 4.0])
+    assert net.heat_to_ambient(rise) == pytest.approx(0.25 * 4.0)
+
+
+def test_totals():
+    net, _, _ = build_two_node()
+    assert net.total_capacitance() == pytest.approx(3.0)
+    assert net.total_ambient_conductance() == pytest.approx(0.25)

@@ -1,0 +1,49 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import (
+    CheckRow,
+    ReproductionReport,
+    format_report,
+    run_all_experiments,
+)
+
+
+class TestReportStructure:
+    def test_add_and_counts(self):
+        report = ReproductionReport()
+        report.add("Fig. X", "thing", "1", "1.1", True)
+        report.add("Fig. Y", "other", "2", "0", False)
+        assert report.n_passed == 1
+        assert not report.all_passed
+        assert report.rows[0] == CheckRow("Fig. X", "thing", "1", "1.1",
+                                          True)
+
+    def test_format_is_markdown_table(self):
+        report = ReproductionReport()
+        report.add("Fig. X", "thing", "1", "1.1", True)
+        text = format_report(report)
+        assert text.startswith("# Reproduction report")
+        assert "| Fig. X | thing | 1 | 1.1 | PASS |" in text
+
+
+@pytest.mark.slow
+def test_full_fast_run_passes():
+    lines = []
+    report = run_all_experiments(fast=True, progress=lines.append)
+    assert lines  # progress was reported
+    assert len(report.rows) >= 20
+    failed = [row for row in report.rows if not row.passed]
+    assert not failed, f"claim checks failed: {failed}"
+    assert report.elapsed_seconds > 0
+
+
+def test_cli_reproduce_writes_file(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "report.md"
+    code = main(["reproduce", "-o", str(out)])
+    assert code == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "FAIL" not in text

@@ -1,0 +1,200 @@
+"""Tests for the thermal sensor model and placement analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan import GridMapping, ev6_floorplan, uniform_grid_floorplan
+from repro.sensors import (
+    SensorArray,
+    ThermalSensor,
+    error_vs_offset,
+    greedy_coverage_placement,
+    place_at_block,
+    place_at_hotspot,
+    placement_error,
+    sensors_needed_for_error_bound,
+)
+from repro.sensors.placement import hotspot_displacement
+
+
+@pytest.fixture()
+def mapping():
+    plan = uniform_grid_floorplan(10e-3, 10e-3)
+    return GridMapping(plan, nx=20, ny=20)
+
+
+def gaussian_field(mapping, cx, cy, peak=100.0, sigma=1.5e-3):
+    xs, ys = mapping.cell_centers()
+    return peak * np.exp(-((xs - cx) ** 2 + (ys - cy) ** 2) / (2 * sigma**2))
+
+
+class TestSensor:
+    def test_reads_cell_value(self, mapping):
+        field = gaussian_field(mapping, 5e-3, 5e-3)
+        sensor = ThermalSensor(x=5e-3, y=5e-3)
+        assert sensor.read_field(field, mapping) == pytest.approx(
+            field.max(), rel=0.01
+        )
+
+    def test_offset_applied(self, mapping):
+        field = np.full(mapping.n_cells, 50.0)
+        sensor = ThermalSensor(x=1e-3, y=1e-3, offset=-2.0)
+        assert sensor.read_field(field, mapping) == pytest.approx(48.0)
+
+    def test_noise_deterministic_with_rng(self, mapping):
+        field = np.full(mapping.n_cells, 50.0)
+        sensor = ThermalSensor(x=1e-3, y=1e-3, noise_sigma=1.0)
+        a = sensor.read_field(field, mapping, rng=np.random.default_rng(7))
+        b = sensor.read_field(field, mapping, rng=np.random.default_rng(7))
+        assert a == b and a != 50.0
+
+    def test_series_lag_filters_fast_changes(self, mapping):
+        times = np.linspace(0, 1, 200)
+        fields = np.outer(np.sin(20 * times), np.ones(mapping.n_cells))
+        fast = ThermalSensor(x=5e-3, y=5e-3, time_constant=0.0)
+        slow = ThermalSensor(x=5e-3, y=5e-3, time_constant=0.5)
+        raw = fast.read_series(times, fields, mapping)
+        filtered = slow.read_series(times, fields, mapping)
+        assert filtered.std() < 0.5 * raw.std()
+
+
+class TestArray:
+    def test_max_reading_and_error(self, mapping):
+        field = gaussian_field(mapping, 5e-3, 5e-3)
+        on_spot = SensorArray([ThermalSensor(5e-3, 5e-3)])
+        off_spot = SensorArray([ThermalSensor(1e-3, 1e-3)])
+        assert on_spot.hotspot_error(field, mapping) < 1.0
+        assert off_spot.hotspot_error(field, mapping) > 50.0
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorArray([])
+
+
+class TestPlacement:
+    def test_place_at_block(self):
+        plan = ev6_floorplan()
+        sensor = place_at_block(plan, "IntReg")
+        assert sensor.name == "IntReg"
+        assert plan["IntReg"].contains(sensor.x, sensor.y)
+
+    def test_place_at_hotspot(self, mapping):
+        field = gaussian_field(mapping, 7e-3, 3e-3)
+        sensor = place_at_hotspot(mapping, field)
+        assert placement_error(mapping, field, sensor) == pytest.approx(0.0)
+
+    def test_error_vs_offset_monotone_for_gaussian(self, mapping):
+        field = gaussian_field(mapping, 5e-3, 5e-3)
+        offsets = np.array([0.5e-3, 1.5e-3, 3e-3])
+        errors = error_vs_offset(mapping, field, offsets)
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_steeper_field_bigger_error(self, mapping):
+        # the Section 5.3 argument: same displacement, steeper map,
+        # bigger sensor error
+        steep = gaussian_field(mapping, 5e-3, 5e-3, sigma=1e-3)
+        shallow = gaussian_field(mapping, 5e-3, 5e-3, sigma=3e-3)
+        offsets = np.array([1.5e-3])
+        assert error_vs_offset(mapping, steep, offsets)[0] > \
+            error_vs_offset(mapping, shallow, offsets)[0]
+
+    def test_greedy_first_sensor_on_hotspot(self, mapping):
+        field = gaussian_field(mapping, 2e-3, 8e-3)
+        sensors = greedy_coverage_placement(mapping, field, n_sensors=3)
+        assert len(sensors) == 3
+        assert placement_error(mapping, field, sensors[0]) == pytest.approx(0.0)
+
+    def test_sensors_needed_grows_with_steepness(self, mapping):
+        steep = gaussian_field(mapping, 5e-3, 5e-3, sigma=1.5e-3)
+        shallow = gaussian_field(mapping, 5e-3, 5e-3, sigma=6e-3)
+        n_steep = sensors_needed_for_error_bound(mapping, steep, 20.0)
+        n_shallow = sensors_needed_for_error_bound(mapping, shallow, 20.0)
+        assert n_steep > n_shallow
+
+    def test_sensors_needed_unreachable_raises(self, mapping):
+        spike = np.zeros(mapping.n_cells)
+        spike[0] = 1000.0
+        with pytest.raises(ConfigurationError):
+            sensors_needed_for_error_bound(
+                mapping, spike, 0.001, spacing_grid=(1, 2)
+            )
+
+    def test_hotspot_displacement(self, mapping):
+        a = gaussian_field(mapping, 2e-3, 2e-3)
+        b = gaussian_field(mapping, 8e-3, 2e-3)
+        assert hotspot_displacement(mapping, a, b) == pytest.approx(
+            6e-3, abs=1e-3
+        )
+
+
+class TestMultiMapPlacement:
+    def test_single_map_first_sensor_is_hotspot(self, mapping):
+        from repro.sensors import evaluate_placement, multi_map_greedy_placement
+        field = gaussian_field(mapping, 3e-3, 7e-3)
+        sensors = multi_map_greedy_placement(mapping, field, 1)
+        assert evaluate_placement(mapping, field, sensors) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_covers_hotspots_of_all_maps(self, mapping):
+        from repro.sensors import evaluate_placement, multi_map_greedy_placement
+        maps = np.vstack([
+            gaussian_field(mapping, 2e-3, 2e-3),
+            gaussian_field(mapping, 8e-3, 8e-3),
+            gaussian_field(mapping, 8e-3, 2e-3),
+        ])
+        sensors = multi_map_greedy_placement(mapping, maps, 3)
+        assert evaluate_placement(mapping, maps, sensors) < 5.0
+        # a single-map placement misses the other hotspots badly
+        single = multi_map_greedy_placement(mapping, maps[0], 3)
+        assert evaluate_placement(mapping, maps, single) > 50.0
+
+    def test_error_decreases_with_sensor_count(self, mapping):
+        from repro.sensors import evaluate_placement, multi_map_greedy_placement
+        maps = np.vstack([
+            gaussian_field(mapping, 2e-3, 2e-3),
+            gaussian_field(mapping, 8e-3, 8e-3),
+        ])
+        errors = [
+            evaluate_placement(
+                mapping, maps, multi_map_greedy_placement(mapping, maps, k)
+            )
+            for k in (1, 2, 4)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_no_duplicate_positions(self, mapping):
+        from repro.sensors import multi_map_greedy_placement
+        field = gaussian_field(mapping, 5e-3, 5e-3)
+        sensors = multi_map_greedy_placement(mapping, field, 5)
+        positions = {(s.x, s.y) for s in sensors}
+        assert len(positions) == 5
+
+    def test_validation(self, mapping):
+        from repro.errors import ConfigurationError
+        from repro.sensors import multi_map_greedy_placement
+        with pytest.raises(ConfigurationError):
+            multi_map_greedy_placement(mapping, np.zeros(7), 1)
+        with pytest.raises(ConfigurationError):
+            multi_map_greedy_placement(
+                mapping, np.zeros(mapping.n_cells), 0
+            )
+
+    def test_cross_package_placement_scenario(self):
+        # the Section 5.4 fix: place sensors against BOTH the oil and
+        # air maps so neither condition's hot spot is missed
+        from repro.experiments import run_fig10, run_fig11
+        from repro.convection.flow import FlowDirection
+        from repro.floorplan import GridMapping, ev6_floorplan
+        from repro.sensors import evaluate_placement, multi_map_greedy_placement
+        fig10 = run_fig10(nx=16, ny=16)
+        plan = ev6_floorplan()
+        mapping = GridMapping(plan, nx=16, ny=16)
+        maps = np.vstack([
+            fig10.oil_map_c.ravel(), fig10.air_map_c.ravel()
+        ])
+        robust = multi_map_greedy_placement(mapping, maps, 2)
+        oil_only = multi_map_greedy_placement(mapping, maps[0], 2)
+        assert evaluate_placement(mapping, maps, robust) <= \
+            evaluate_placement(mapping, maps, oil_only) + 1e-9

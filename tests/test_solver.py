@@ -1,0 +1,158 @@
+"""Tests for the steady and transient solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.floorplan import uniform_grid_floorplan
+from repro.package import oil_silicon_package
+from repro.rcmodel import NetworkBuilder, ThermalGridModel
+from repro.solver import (
+    BackwardEulerStepper,
+    TrapezoidalStepper,
+    steady_block_temperatures,
+    steady_state,
+    transient_simulate,
+    transient_step_response,
+)
+
+
+def single_rc(r=2.0, c=3.0):
+    builder = NetworkBuilder()
+    node = builder.add_node(c)
+    builder.to_ambient(node, 1.0 / r)
+    return builder.build()
+
+
+def test_steady_single_rc_ohms_law():
+    net = single_rc(r=2.0)
+    rise = steady_state(net, np.array([5.0]))
+    assert rise[0] == pytest.approx(10.0)
+
+
+def test_steady_rejects_bad_shape():
+    net = single_rc()
+    with pytest.raises(SolverError):
+        steady_state(net, np.array([1.0, 2.0]))
+
+
+def test_transient_matches_analytic_exponential():
+    r, c, p = 2.0, 3.0, 5.0
+    net = single_rc(r, c)
+    tau = r * c
+    result = transient_step_response(
+        net, np.array([p]), t_end=5 * tau, dt=tau / 200
+    )
+    analytic = p * r * (1 - np.exp(-result.times / tau))
+    np.testing.assert_allclose(
+        result.states[:, 0], analytic, atol=p * r * 2e-4
+    )
+
+
+def test_backward_euler_converges_to_same_steady():
+    net = single_rc()
+    p = np.array([1.0])
+    for method in ("trapezoidal", "backward_euler"):
+        result = transient_simulate(net, p, t_end=60.0, dt=0.1, method=method)
+        assert result.final()[0] == pytest.approx(2.0, rel=1e-3)
+
+
+def test_transient_long_limit_equals_steady_full_model():
+    plan = uniform_grid_floorplan(20e-3, 20e-3, prefix="die")
+    config = oil_silicon_package(
+        20e-3, 20e-3, uniform_h=True, include_secondary=False, ambient=300.0
+    )
+    model = ThermalGridModel(plan, config, nx=8, ny=8)
+    power = model.node_power({"die": 100.0})
+    steady = steady_state(model.network, power)
+    transient = transient_simulate(model.network, power, t_end=10.0, dt=0.02)
+    np.testing.assert_allclose(
+        transient.final(), steady, rtol=1e-4, atol=1e-4
+    )
+
+
+def test_time_varying_power_callable():
+    net = single_rc(r=1.0, c=1.0)
+
+    def power(t):
+        return np.array([1.0 if t < 1.0 else 0.0])
+
+    result = transient_simulate(net, power, t_end=3.0, dt=0.01)
+    peak_index = int(np.argmax(result.states[:, 0]))
+    assert result.times[peak_index] == pytest.approx(1.0, abs=0.02)
+    assert result.final()[0] < result.states[peak_index, 0]
+
+
+def test_record_every_thins_output():
+    net = single_rc()
+    result = transient_simulate(
+        net, np.array([1.0]), t_end=1.0, dt=0.01, record_every=10
+    )
+    assert len(result.times) == 11  # initial + every 10th step
+
+
+def test_projector_reduces_state():
+    plan = uniform_grid_floorplan(20e-3, 20e-3, prefix="die")
+    config = oil_silicon_package(
+        20e-3, 20e-3, uniform_h=True, include_secondary=False, ambient=300.0
+    )
+    model = ThermalGridModel(plan, config, nx=8, ny=8)
+    result = transient_simulate(
+        model.network, model.node_power({"die": 50.0}),
+        t_end=0.5, dt=0.05, projector=model.block_rise,
+    )
+    assert result.states.shape[1] == 1  # one block
+
+
+def test_stepper_reuse_stable_for_stiff_ratio():
+    # widely separated capacitances (stiff) must not oscillate with the
+    # A-stable steppers
+    builder = NetworkBuilder()
+    a = builder.add_node(1e-4)
+    b = builder.add_node(1e2)
+    builder.connect(a, b, 10.0)
+    builder.to_ambient(b, 0.1)
+    net = builder.build()
+    p = np.zeros(2)
+    p[0] = 1.0
+    for stepper_cls in (TrapezoidalStepper, BackwardEulerStepper):
+        stepper = stepper_cls(net, dt=1.0)
+        x = np.zeros(2)
+        values = []
+        for _ in range(50):
+            x = stepper.step(x, p)
+            values.append(x[0])
+        assert np.all(np.isfinite(values))
+        assert values[-1] > 0
+
+
+def test_invalid_arguments():
+    net = single_rc()
+    with pytest.raises(SolverError):
+        transient_simulate(net, np.array([1.0]), t_end=0.0, dt=0.1)
+    with pytest.raises(SolverError):
+        transient_simulate(net, np.array([1.0]), t_end=1.0, dt=0.1,
+                           method="rk4")
+    with pytest.raises(SolverError):
+        transient_simulate(net, np.array([1.0]), t_end=1.0, dt=0.1,
+                           record_every=0)
+    with pytest.raises(SolverError):
+        TrapezoidalStepper(net, dt=-1.0)
+
+
+def test_result_accessors():
+    net = single_rc()
+    result = transient_simulate(net, np.array([1.0]), t_end=1.0, dt=0.1)
+    np.testing.assert_allclose(result.at(0.5), result.states[5])
+    np.testing.assert_allclose(result.series(0), result.states[:, 0])
+
+
+def test_steady_block_temperatures_helper():
+    plan = uniform_grid_floorplan(20e-3, 20e-3, prefix="die")
+    config = oil_silicon_package(
+        20e-3, 20e-3, uniform_h=True, include_secondary=False, ambient=300.0
+    )
+    model = ThermalGridModel(plan, config, nx=8, ny=8)
+    temps = steady_block_temperatures(model, {"die": 100.0})
+    assert set(temps) == {"die"}
+    assert temps["die"] > 300.0

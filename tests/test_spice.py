@@ -1,0 +1,91 @@
+"""Tests for the SPICE netlist exporter."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelBuildError
+from repro.floorplan import uniform_grid_floorplan
+from repro.package import oil_silicon_package
+from repro.rcmodel import (
+    NetworkBuilder,
+    ThermalGridModel,
+    netlist_statistics,
+    write_spice_netlist,
+)
+
+
+def two_node_network():
+    builder = NetworkBuilder()
+    a = builder.add_node(1.5)
+    b = builder.add_node(2.5)
+    builder.connect(a, b, 0.5)      # R = 2 ohms between N1 and N2
+    builder.to_ambient(b, 0.25)     # R = 4 ohms to ground
+    return builder.build()
+
+
+def test_elements_and_values():
+    net = two_node_network()
+    buffer = io.StringIO()
+    counts = write_spice_netlist(
+        net, buffer, node_power=np.array([3.0, 0.0])
+    )
+    text = buffer.getvalue()
+    assert counts == {"R": 2, "C": 2, "I": 1}
+    assert "R1 N1 N2 2.000000e+00" in text
+    assert "R2 N2 0 4.000000e+00" in text
+    assert "C1 N1 0 1.500000e+00" in text
+    assert "I1 0 N1 DC 3.000000e+00" in text
+    assert text.strip().endswith(".END")
+    assert ".OP" in text
+
+
+def test_transient_directive():
+    net = two_node_network()
+    buffer = io.StringIO()
+    write_spice_netlist(net, buffer, transient="1m 5")
+    assert ".TRAN 1m 5 UIC" in buffer.getvalue()
+
+
+def test_statistics_round_trip():
+    net = two_node_network()
+    buffer = io.StringIO()
+    counts = write_spice_netlist(
+        net, buffer, node_power=np.array([1.0, 2.0])
+    )
+    assert netlist_statistics(buffer.getvalue()) == counts
+
+
+def test_spice_steady_state_matches_solver():
+    """The deck encodes the same linear system the solver solves."""
+    from repro.solver import steady_state
+    net = two_node_network()
+    power = np.array([3.0, 0.0])
+    rise = steady_state(net, power)
+    # hand-solve the exported circuit: all current flows through R2;
+    # N2 = 3 A * 4 ohm = 12, N1 = N2 + 3 * 2 = 18
+    assert rise[1] == pytest.approx(12.0)
+    assert rise[0] == pytest.approx(18.0)
+
+
+def test_full_model_export_scales():
+    plan = uniform_grid_floorplan(16e-3, 16e-3, prefix="die")
+    config = oil_silicon_package(
+        16e-3, 16e-3, uniform_h=True, include_secondary=False
+    )
+    model = ThermalGridModel(plan, config, nx=8, ny=8)
+    buffer = io.StringIO()
+    counts = write_spice_netlist(
+        model.network, buffer, node_power=model.node_power({"die": 10.0})
+    )
+    assert counts["C"] == model.n_nodes
+    # every cell has an ambient resistor (the oil) plus grid neighbors
+    assert counts["R"] > model.n_nodes
+    assert counts["I"] == model.n_nodes  # uniform power over all cells
+
+
+def test_bad_power_length_rejected():
+    net = two_node_network()
+    with pytest.raises(ModelBuildError):
+        write_spice_netlist(net, io.StringIO(), node_power=np.ones(3))

@@ -1,0 +1,113 @@
+"""Tests for variation-aware thermal characterization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import power_variation_study
+from repro.errors import SolverError
+from repro.experiments.common import celsius
+from repro.floorplan import ev6_floorplan
+from repro.package import air_sink_package, oil_silicon_package
+from repro.rcmodel import ThermalBlockModel
+
+PLAN = ev6_floorplan()
+POWERS = {"IntReg": 3.0, "Dcache": 8.0, "IntExec": 2.0, "Icache": 3.0}
+
+
+def oil_model():
+    return ThermalBlockModel(
+        PLAN,
+        oil_silicon_package(
+            PLAN.die_width, PLAN.die_height, uniform_h=True,
+            target_resistance=1.0, include_secondary=False,
+            ambient=celsius(45.0),
+        ),
+    )
+
+
+def air_model():
+    return ThermalBlockModel(
+        PLAN,
+        air_sink_package(
+            PLAN.die_width, PLAN.die_height, convection_resistance=1.0,
+            ambient=celsius(45.0),
+        ),
+    )
+
+
+def test_deterministic_and_shapes():
+    model = oil_model()
+    a = power_variation_study(model, POWERS, n_samples=20, seed=3)
+    b = power_variation_study(model, POWERS, n_samples=20, seed=3)
+    np.testing.assert_allclose(a.samples, b.samples)
+    assert a.samples.shape == (20, len(PLAN))
+    assert a.power_samples.shape == (20, len(PLAN))
+
+
+def test_zero_variation_collapses_to_nominal():
+    model = oil_model()
+    study = power_variation_study(
+        model, POWERS, sigma_fraction=0.0, n_samples=5
+    )
+    assert study.std.max() == pytest.approx(0.0, abs=1e-9)
+    np.testing.assert_allclose(
+        study.power_samples,
+        np.broadcast_to(study.power_samples[0], study.power_samples.shape),
+    )
+
+
+def test_mean_power_approximately_nominal():
+    model = oil_model()
+    study = power_variation_study(
+        model, POWERS, sigma_fraction=0.15, n_samples=400, seed=1
+    )
+    nominal = PLAN.power_vector(POWERS)
+    hot = nominal > 0
+    np.testing.assert_allclose(
+        study.power_samples.mean(axis=0)[hot], nominal[hot], rtol=0.05
+    )
+
+
+def test_guard_band_grows_with_variation():
+    model = oil_model()
+    small = power_variation_study(
+        model, POWERS, sigma_fraction=0.05, n_samples=150, seed=2
+    )
+    large = power_variation_study(
+        model, POWERS, sigma_fraction=0.2, n_samples=150, seed=2
+    )
+    hot = PLAN.index_of("IntReg")
+    assert large.guard_band()[hot] > small.guard_band()[hot]
+
+
+def test_oil_amplifies_variation_spread():
+    # the same power variation produces a wider hot-spot temperature
+    # spread under oil than under the copper package -- the bench
+    # overstates the guard-band the real product needs
+    kwargs = dict(sigma_fraction=0.15, n_samples=150, seed=4)
+    oil = power_variation_study(oil_model(), POWERS, **kwargs)
+    air = power_variation_study(air_model(), POWERS, **kwargs)
+    hot = PLAN.index_of("IntReg")
+    assert oil.std[hot] > air.std[hot]
+    assert oil.guard_band()[hot] > air.guard_band()[hot]
+
+
+def test_hotspot_distribution_sums_to_one():
+    model = oil_model()
+    study = power_variation_study(
+        model, POWERS, sigma_fraction=0.3, correlation=0.0,
+        n_samples=100, seed=5,
+    )
+    distribution = study.hotspot_distribution()
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    assert "IntReg" in distribution  # usually hottest
+
+
+def test_validation():
+    model = oil_model()
+    with pytest.raises(SolverError):
+        power_variation_study(model, POWERS, correlation=1.5)
+    with pytest.raises(SolverError):
+        power_variation_study(model, POWERS, n_samples=0)
+    with pytest.raises(SolverError):
+        power_variation_study(model, np.full(len(PLAN), -1.0))
