@@ -1,0 +1,77 @@
+"""Bench: the campaign engine itself.
+
+Two numbers track the new execution layer's perf trajectory:
+
+(a) process-pool fan-out of an 8-configuration steady sweep (the
+    Fig. 11 directions at two oil velocities) versus the same sweep
+    run serially in-process — the speedup scales with cores (on a
+    single-core runner the pool's process overhead makes it a wash,
+    so the assertion only bounds the overhead);
+(b) warm-cache re-run latency of the same sweep: a second identical
+    campaign must short-circuit every solve through the
+    content-addressed store and finish orders of magnitude faster.
+"""
+
+import os
+import time
+
+from repro.campaign import CampaignSpec, JobSpec, ModelSpec, ResultCache, run_campaign
+from repro.convection.flow import ALL_DIRECTIONS
+
+POWER = (("IntReg", 3.0), ("IntExec", 2.0), ("Dcache", 2.5), ("L2", 6.0))
+
+
+def sweep_campaign(nx=24):
+    jobs = tuple(
+        JobSpec.make(
+            "steady_blocks",
+            tag=f"{direction.value}@{velocity:g}",
+            model=ModelSpec(chip="ev6", package="oil", nx=nx, ny=nx,
+                            direction=direction.value, velocity=velocity,
+                            ambient_c=45.0),
+            power="blocks", power_blocks=POWER,
+        )
+        for direction in ALL_DIRECTIONS
+        for velocity in (3.0, 10.0)
+    )
+    return CampaignSpec(name="bench_sweep", jobs=jobs)
+
+
+def test_bench_campaign_parallel_and_cached(benchmark, tmp_path):
+    campaign = sweep_campaign()
+    workers = min(4, os.cpu_count() or 1)
+
+    start = time.perf_counter()
+    serial = run_campaign(campaign, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_campaign(campaign, jobs=workers)
+    parallel_s = time.perf_counter() - start
+
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_campaign(campaign, cache=cache)
+
+    warm = benchmark.pedantic(
+        lambda: run_campaign(campaign, cache=cache), rounds=3, iterations=1
+    )
+
+    print(f"\nCampaign engine, 8-job steady sweep ({workers} workers)")
+    print(f"  serial   {serial_s:8.3f} s")
+    print(f"  parallel {parallel_s:8.3f} s  "
+          f"(speedup {serial_s / parallel_s:.2f}x)")
+    print(f"  cold+store {cold.summary.total_wall_s:6.3f} s")
+    print(f"  warm cache {warm.summary.total_wall_s:6.3f} s  "
+          f"(vs serial: {serial_s / warm.summary.total_wall_s:.0f}x)")
+
+    # identical numbers on every path
+    assert serial.ok and parallel.ok and cold.ok and warm.ok
+    for job in campaign.jobs:
+        a = serial.result_for(job.tag)
+        for other in (parallel, cold, warm):
+            assert a.same_values(other.result_for(job.tag))
+    # pool overhead must stay bounded even on a single-core runner
+    assert parallel_s < 3.0 * serial_s + 2.0
+    # the warm cache must short-circuit every solve, fast
+    assert warm.summary.hit_rate == 1.0
+    assert warm.summary.total_wall_s < serial_s / 5.0

@@ -2,46 +2,18 @@
 
 "The research presented in this paper suggests another interesting
 dimension in the design space that chip architects can explore -- the
-thermal package choice."  This bench sweeps the Section 2.1 cooling
-taxonomy on the EV6/gcc workload and reports, per package, the numbers
-a temperature-aware architect trades off: peak temperature, across-die
-gradient, and the short-term thermal time constant that sets DTM
-responsiveness.
+thermal package choice."  This bench runs the Section 2.1 sweep
+declared in :mod:`repro.experiments.design_space` through the campaign
+engine and reports, per package, the numbers a temperature-aware
+architect trades off: peak temperature, across-die gradient, and the
+short-term thermal time constant that sets DTM responsiveness.
 """
 
-import numpy as np
-
-from repro.analysis.time_constants import rise_time
-from repro.experiments.common import celsius, gcc_average_power
-from repro.floorplan import ev6_floorplan
-from repro.package import standard_package_menu
-from repro.rcmodel import ThermalGridModel
-from repro.solver import steady_state, transient_step_response
+from repro.experiments.design_space import run_design_space
 
 
 def run_sweep(nx=16, ny=16):
-    plan = ev6_floorplan()
-    menu = standard_package_menu(
-        plan.die_width, plan.die_height, ambient=celsius(45.0)
-    )
-    powers = gcc_average_power()
-    rows = {}
-    for name, config in menu.items():
-        model = ThermalGridModel(plan, config, nx=nx, ny=ny)
-        rise = steady_state(model.network, model.node_power(powers))
-        block_rise = model.block_rise(rise)
-        pulse = transient_step_response(
-            model.network, model.node_power({"IntReg": 3.0}),
-            t_end=0.4, dt=2e-3, projector=model.block_rise,
-        )
-        intreg = pulse.states[:, plan.index_of("IntReg")]
-        t63 = rise_time(pulse.times, intreg)
-        rows[name] = dict(
-            tmax=float(block_rise.max()),
-            dt=float(block_rise.max() - block_rise.min()),
-            t63=float(t63),
-        )
-    return rows
+    return run_design_space(nx=nx, ny=ny)
 
 
 def test_bench_design_space(benchmark):
@@ -51,19 +23,19 @@ def test_bench_design_space(benchmark):
     print(f"  {'package':<13} {'Tmax rise':>10} {'dT':>7} "
           f"{'IntReg t63':>12}")
     for name, row in rows.items():
-        print(f"  {name:<13} {row['tmax']:10.1f} {row['dt']:7.1f} "
-              f"{1e3 * row['t63']:9.1f} ms")
+        print(f"  {name:<13} {row.tmax:10.1f} {row.dt:7.1f} "
+              f"{1e3 * row.t63:9.1f} ms")
 
     # the orderings that define the design space:
-    assert rows["MICROCHANNEL"]["tmax"] < rows["WATER-PLATE"]["tmax"] \
-        < rows["AIR-SINK"]["tmax"] < rows["OIL-SILICON"]["tmax"] \
-        < rows["NATURAL"]["tmax"]
+    assert rows["MICROCHANNEL"].tmax < rows["WATER-PLATE"].tmax \
+        < rows["AIR-SINK"].tmax < rows["OIL-SILICON"].tmax \
+        < rows["NATURAL"].tmax
     # bare-silicon coolants have the steepest maps
-    assert rows["OIL-SILICON"]["dt"] > 2.0 * rows["AIR-SINK"]["dt"]
+    assert rows["OIL-SILICON"].dt > 2.0 * rows["AIR-SINK"].dt
     # TEC assistance cools the oil bench and shortens its response
-    assert rows["OIL+TEC"]["tmax"] < rows["OIL-SILICON"]["tmax"]
-    assert rows["OIL+TEC"]["t63"] < rows["OIL-SILICON"]["t63"]
+    assert rows["OIL+TEC"].tmax < rows["OIL-SILICON"].tmax
+    assert rows["OIL+TEC"].t63 < rows["OIL-SILICON"].t63
     # the oil bench has by far the slowest short-term response of the
     # forced-cooling options (the paper's DTM-efficiency point)
     for name in ("AIR-SINK", "WATER-PLATE", "MICROCHANNEL"):
-        assert rows["OIL-SILICON"]["t63"] > 2.0 * rows[name]["t63"]
+        assert rows["OIL-SILICON"].t63 > 2.0 * rows[name].t63

@@ -3,54 +3,17 @@
 The DTM literature the paper builds on (Brooks & Martonosi; Skadron et
 al.) compares response mechanisms -- fetch throttling, DVFS, clock
 gating.  The paper's contribution is that the *package* changes which
-parameters work; this bench runs all three baseline policies under
-both packages at the same absolute threshold and reports the
-peak-temperature / performance tradeoff each achieves.
+parameters work; this bench runs the (package x policy) sweep declared
+in :mod:`repro.experiments.dtm_study` through the campaign engine at
+the same absolute threshold and reports the peak-temperature /
+performance tradeoff each combination achieves.
 """
 
-import numpy as np
-
-from repro.dtm import ClockGating, DTMController, DVFS, FetchThrottle
-from repro.experiments.common import celsius, ev6_air_model, ev6_oil_model
-from repro.floorplan import ev6_floorplan
-from repro.power import pulse_train
-from repro.sensors import SensorArray, place_at_block
-
-CORE_BLOCKS = ["Icache", "IntReg", "IntExec", "IntQ", "IntMap", "LdStQ",
-               "Dcache"]
+from repro.experiments.dtm_study import run_dtm_comparison
 
 
 def run_comparison():
-    plan = ev6_floorplan()
-    ambient = celsius(45.0)
-    trace = pulse_train(
-        plan, "Dcache", on_power=14.0, on_time=0.015, off_time=0.035,
-        cycles=6, dt=1e-3, base_power={"Dcache": 4.0, "IntReg": 1.0},
-    )
-    models = {
-        "oil": ev6_oil_model(nx=16, ny=16, uniform_h=True,
-                             target_resistance=1.0,
-                             include_secondary=False, ambient=ambient),
-        "air": ev6_air_model(nx=16, ny=16, convection_resistance=1.0,
-                             ambient=ambient),
-    }
-    policies = {
-        "fetch_throttle": FetchThrottle(0.3, targets=CORE_BLOCKS),
-        "dvfs": DVFS(0.7),
-        "clock_gating": ClockGating(0.15, targets=CORE_BLOCKS),
-    }
-    sensors = SensorArray([place_at_block(plan, "Dcache")])
-    rows = {}
-    for package, model in models.items():
-        threshold = model.config.ambient + 22.0
-        for name, policy in policies.items():
-            controller = DTMController(
-                model, sensors, policy, threshold=threshold,
-                engagement_duration=10e-3,
-            )
-            run = controller.run(trace)
-            rows[(package, name)] = run
-    return rows
+    return run_dtm_comparison(nx=16, ny=16)
 
 
 def test_bench_dtm_policies(benchmark):

@@ -1,0 +1,97 @@
+"""A multi-configuration sweep through the campaign engine, end to end.
+
+Builds a custom campaign from scratch -- no registry involved -- that
+asks one question the paper keeps circling: how does the EV6 hot spot
+move with the oil bench's flow, across *both* flow direction and flow
+velocity?  Twelve steady jobs (4 directions x 3 velocities) are
+declared as frozen :class:`~repro.campaign.JobSpec` objects, executed
+on a process pool with an on-disk content-addressed cache and a JSONL
+manifest, and folded into one table.
+
+Run it twice to see the cache work:
+
+    python examples/campaign_sweep.py
+    python examples/campaign_sweep.py   # 100% cache hits, instant
+
+The cache lives under ~/.cache/repro-campaign (override with
+REPRO_CACHE_DIR; disable with REPRO_DISK_CACHE=0).
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+import numpy as np
+
+from repro.campaign import (
+    CampaignSpec,
+    JobSpec,
+    ModelSpec,
+    default_cache_dir,
+    machine_cache,
+    run_campaign,
+)
+from repro.convection.flow import ALL_DIRECTIONS
+from repro.units import ZERO_CELSIUS_IN_KELVIN as ZC
+
+VELOCITIES = (3.0, 10.0, 30.0)
+
+
+def build_campaign(nx: int = 24, instructions: int = 100_000) -> CampaignSpec:
+    jobs = tuple(
+        JobSpec.make(
+            "steady_blocks",
+            tag=f"{direction.value}@{velocity:g}mps",
+            model=ModelSpec(
+                chip="ev6", package="oil", nx=nx, ny=nx,
+                direction=direction.value, velocity=velocity,
+                uniform_h=False, include_secondary=True, ambient_c=45.0,
+            ),
+            power="gcc_average", instructions=instructions,
+        )
+        for direction in ALL_DIRECTIONS
+        for velocity in VELOCITIES
+    )
+    return CampaignSpec(name="flow_explorer", jobs=jobs)
+
+
+def main() -> None:
+    campaign = build_campaign()
+    manifest = os.path.join(default_cache_dir(), "manifests",
+                            "flow_explorer.jsonl")
+    run = run_campaign(
+        campaign,
+        jobs=min(4, os.cpu_count() or 1),
+        cache=machine_cache(),
+        manifest_path=manifest,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    summary = run.summary
+    print(f"\n{summary.n_jobs} jobs, {summary.n_cached} cached "
+          f"(hit rate {100 * summary.hit_rate:.0f}%), "
+          f"p50 {summary.p50_wall_s:.3f} s, "
+          f"total {summary.total_wall_s:.2f} s; manifest: {manifest}\n")
+
+    print(f"{'direction':<15}" + "".join(f"{v:>10.0f} m/s" for v in VELOCITIES))
+    for direction in ALL_DIRECTIONS:
+        cells = []
+        for velocity in VELOCITIES:
+            result = run.result_for(f"{direction.value}@{velocity:g}mps")
+            temps = result.arrays["block_temps_k"]
+            names = result.meta["block_names"]
+            hottest = names[int(np.argmax(temps))]
+            cells.append(f"{temps.max() - ZC:6.1f} {hottest:<7}")
+        print(f"{direction.value:<15}" + " ".join(cells))
+
+    print("\nhow to read this: faster oil cools everything, but the "
+          "*direction* decides\nwhich unit is hottest -- with flow from "
+          "the top, IntReg sits at the leading\nedge and Dcache takes "
+          "over as the hot spot (the paper's Fig. 11 point),\nand that "
+          "holds at every velocity the bench can plausibly run.")
+
+
+if __name__ == "__main__":
+    main()

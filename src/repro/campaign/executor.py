@@ -1,0 +1,305 @@
+"""The campaign executor: cached, parallel, observable job execution.
+
+Execution of one campaign proceeds in three steps:
+
+1. **Cache probe** — each job's content hash is looked up in the
+   result cache (when one is configured); hits short-circuit without
+   ever reaching a worker.
+2. **Fan-out** — misses run on a ``ProcessPoolExecutor`` with
+   ``--jobs`` workers.  Failures retry with exponential backoff up to
+   ``retries`` times; a per-job ``timeout`` (measured from the moment
+   the engine starts waiting on that job) marks stragglers failed and
+   abandons their worker.  If the pool itself cannot be created (no
+   ``fork``/``spawn``, sandboxed ``/dev/shm``, ...), or ``jobs <= 1``,
+   the engine degrades gracefully to serial in-process execution with
+   identical results — only the timeout is then advisory (a running
+   job cannot be interrupted in-process).
+3. **Record** — fresh results are stored back to the cache and every
+   job appends a manifest record; the run closes with a summary
+   (hit rate, p50/p95 job latency).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import CampaignError
+from .cache import JobResult, ResultCache
+from .manifest import CampaignSummary, ManifestWriter, summarize
+from .runners import get_runner
+from .spec import CampaignSpec, JobSpec
+
+
+def execute_job(spec: JobSpec):
+    """Run one job in the current process (the worker entry point).
+
+    Module-level so it pickles to pool workers; returns
+    ``(result, wall_seconds, worker_pid)``.
+    """
+    start = time.perf_counter()
+    result = get_runner(spec.kind)(spec)
+    return result, time.perf_counter() - start, os.getpid()
+
+
+@dataclass
+class JobOutcome:
+    """How one job of a campaign run ended."""
+
+    spec: JobSpec
+    status: str  # "ok" | "cached" | "failed" | "timeout"
+    result: Optional[JobResult] = None
+    error: Optional[str] = None
+    wall_s: float = 0.0
+    worker: str = ""
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether a result is available (fresh or cached)."""
+        return self.status in ("ok", "cached")
+
+    def record(self, campaign: str) -> Dict[str, Any]:
+        """The manifest record for this outcome."""
+        return {
+            "campaign": campaign,
+            "tag": self.spec.tag,
+            "kind": self.spec.kind,
+            "key": self.spec.content_hash,
+            "status": self.status,
+            "cached": self.status == "cached",
+            "wall_s": round(self.wall_s, 6),
+            "worker": self.worker,
+            "retries": self.retries,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CampaignRun:
+    """The full result of one campaign execution."""
+
+    campaign: CampaignSpec
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    summary: Optional[CampaignSummary] = None
+    manifest_path: Optional[str] = None
+    parallel: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a result."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def outcome_for(self, tag: str) -> JobOutcome:
+        """The outcome of the job tagged ``tag``."""
+        for outcome in self.outcomes:
+            if outcome.spec.tag == tag:
+                return outcome
+        raise CampaignError(
+            f"campaign {self.campaign.name!r} has no job tagged {tag!r}"
+        )
+
+    def result_for(self, tag: str) -> JobResult:
+        """The result of the job tagged ``tag``; raises if it failed."""
+        outcome = self.outcome_for(tag)
+        if outcome.result is None:
+            raise CampaignError(
+                f"job {tag!r} of campaign {self.campaign.name!r} "
+                f"{outcome.status}: {outcome.error}"
+            )
+        return outcome.result
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(backoff * (2 ** attempt))
+
+
+def _run_serial(
+    pending: List[JobSpec],
+    retries: int,
+    backoff: float,
+    progress: Optional[Callable[[str], None]],
+) -> Dict[str, JobOutcome]:
+    outcomes: Dict[str, JobOutcome] = {}
+    for spec in pending:
+        attempt = 0
+        while True:
+            try:
+                result, wall, pid = execute_job(spec)
+                outcomes[spec.tag] = JobOutcome(
+                    spec=spec, status="ok", result=result, wall_s=wall,
+                    worker=str(pid), retries=attempt,
+                )
+                break
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                if attempt < retries:
+                    _backoff_sleep(backoff, attempt)
+                    attempt += 1
+                    continue
+                outcomes[spec.tag] = JobOutcome(
+                    spec=spec, status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    worker=str(os.getpid()), retries=attempt,
+                )
+                break
+        if progress:
+            progress(_progress_line(outcomes[spec.tag]))
+    return outcomes
+
+
+def _run_parallel(
+    pending: List[JobSpec],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    progress: Optional[Callable[[str], None]],
+) -> Dict[str, JobOutcome]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    outcomes: Dict[str, JobOutcome] = {}
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    abandoned = False
+    try:
+        futures = [(pool.submit(execute_job, spec), spec) for spec in pending]
+        for fut, spec in futures:
+            attempt = 0
+            while True:
+                try:
+                    result, wall, pid = fut.result(timeout=timeout)
+                    outcomes[spec.tag] = JobOutcome(
+                        spec=spec, status="ok", result=result, wall_s=wall,
+                        worker=str(pid), retries=attempt,
+                    )
+                    break
+                except FutureTimeoutError:
+                    fut.cancel()
+                    abandoned = True
+                    outcomes[spec.tag] = JobOutcome(
+                        spec=spec, status="timeout",
+                        error=f"exceeded {timeout:g} s budget",
+                        wall_s=float(timeout), retries=attempt,
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                    if attempt < retries:
+                        _backoff_sleep(backoff, attempt)
+                        attempt += 1
+                        fut = pool.submit(execute_job, spec)
+                        continue
+                    outcomes[spec.tag] = JobOutcome(
+                        spec=spec, status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        retries=attempt,
+                    )
+                    break
+            if progress:
+                progress(_progress_line(outcomes[spec.tag]))
+    finally:
+        # A timed-out worker cannot be interrupted; don't block the
+        # campaign on it — abandon the pool and let it drain on exit.
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+    return outcomes
+
+
+def _progress_line(outcome: JobOutcome) -> str:
+    status = outcome.status.upper()
+    detail = f"{outcome.wall_s:.3f} s" if outcome.ok else (outcome.error or "")
+    retry_note = f" (retries={outcome.retries})" if outcome.retries else ""
+    return f"[{status:>7}] {outcome.spec.tag}: {detail}{retry_note}"
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    manifest_path: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.1,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRun:
+    """Execute a campaign; see the module docstring for semantics.
+
+    Parameters
+    ----------
+    campaign:
+        The declarative campaign to run.
+    jobs:
+        Worker processes; ``1`` runs serially in-process.
+    cache:
+        Content-addressed result store; ``None`` disables caching.
+    manifest_path:
+        Where to append the JSONL run manifest; ``None`` skips it.
+    timeout:
+        Per-job wall budget in seconds (pool mode only; advisory in
+        serial mode).
+    retries:
+        How many times a *failing* job is re-attempted (timeouts are
+        final: the straggler would just straggle again).
+    backoff:
+        Base of the exponential retry backoff, seconds.
+    force:
+        Recompute even on cache hits (refreshes the stored entries).
+    """
+    start = time.perf_counter()
+    run = CampaignRun(campaign=campaign, manifest_path=manifest_path)
+
+    pending: List[JobSpec] = []
+    cached: Dict[str, JobOutcome] = {}
+    for spec in campaign.jobs:
+        if cache is not None and not force:
+            probe_start = time.perf_counter()
+            hit = cache.get(spec.content_hash)
+            if hit is not None:
+                cached[spec.tag] = JobOutcome(
+                    spec=spec, status="cached", result=hit,
+                    wall_s=time.perf_counter() - probe_start, worker="cache",
+                )
+                if progress:
+                    progress(_progress_line(cached[spec.tag]))
+                continue
+        pending.append(spec)
+
+    fresh: Dict[str, JobOutcome] = {}
+    if pending:
+        use_pool = jobs > 1 and len(pending) > 1
+        if use_pool:
+            try:
+                fresh = _run_parallel(
+                    pending, jobs, timeout, retries, backoff, progress
+                )
+                run.parallel = True
+            except Exception as exc:  # pool unavailable: degrade to serial
+                if progress:
+                    progress(
+                        f"[  NOTE ] process pool unavailable "
+                        f"({type(exc).__name__}: {exc}); running serially"
+                    )
+                use_pool = False
+        if not use_pool:
+            fresh = _run_serial(pending, retries, backoff, progress)
+
+    if cache is not None:
+        for outcome in fresh.values():
+            if outcome.status == "ok" and outcome.result is not None:
+                cache.put(outcome.spec.content_hash, outcome.result)
+
+    run.outcomes = [
+        cached.get(spec.tag) or fresh[spec.tag] for spec in campaign.jobs
+    ]
+    records = [outcome.record(campaign.name) for outcome in run.outcomes]
+    run.summary = summarize(
+        campaign.name, records, time.perf_counter() - start
+    )
+    if manifest_path:
+        writer = ManifestWriter(manifest_path)
+        for record in records:
+            writer.job(record)
+        writer.summary(run.summary)
+    return run

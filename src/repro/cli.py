@@ -10,7 +10,12 @@ for this library so the models can be driven without writing Python:
 * ``python -m repro transient -f chip.flp -p chip.ptrace -o out.ttrace``
     integrate the trace and write per-block temperatures per sample;
 * ``python -m repro info -f chip.flp``
-    describe a floorplan (blocks, areas, die size).
+    describe a floorplan (blocks, areas, die size);
+* ``python -m repro campaign run fig11 --jobs 4``
+    execute a registered experiment sweep through the campaign engine
+    (parallel workers, content-addressed result cache, JSONL
+    manifest); ``campaign list`` and ``campaign status`` inspect the
+    registry and the cache.
 
 Package selection mirrors the paper: ``--package air`` (default) or
 ``--package oil``, with ``--rconv``, ``--velocity``, ``--direction``
@@ -111,6 +116,46 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="report destination ('-' = stdout)")
     reproduce.add_argument("--full", action="store_true",
                            help="full experiment resolution (slower)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run registered experiment sweeps through the campaign "
+             "engine (parallel, cached, manifested)",
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser("run", help="execute one registered campaign")
+    crun.add_argument("name", help="campaign name (see 'campaign list')")
+    crun.add_argument("-j", "--jobs", type=int, default=1,
+                      help="worker processes (1 = serial, default)")
+    crun.add_argument("--cache-dir", default=None,
+                      help="result cache directory (default: "
+                           "$REPRO_CACHE_DIR or ~/.cache/repro-campaign)")
+    crun.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache for this run")
+    crun.add_argument("--manifest", default=None,
+                      help="JSONL manifest path (default: "
+                           "<cache-dir>/manifests/<name>-<time>.jsonl)")
+    crun.add_argument("--timeout", type=float, default=None,
+                      help="per-job wall budget, seconds (pool mode)")
+    crun.add_argument("--retries", type=int, default=2,
+                      help="re-attempts per failing job (default 2)")
+    crun.add_argument("--force", action="store_true",
+                      help="recompute even when results are cached")
+    crun.add_argument("-P", "--param", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="campaign builder parameter, repeatable "
+                           "(e.g. -P nx=16 -P instructions=100000)")
+
+    csub.add_parser("list", help="list registered campaigns")
+
+    cstatus = csub.add_parser(
+        "status", help="show result-cache contents and manifest summaries"
+    )
+    cstatus.add_argument("--cache-dir", default=None,
+                         help="cache directory to inspect")
+    cstatus.add_argument("--manifest", default=None,
+                         help="summarize one JSONL manifest file")
     return parser
 
 
@@ -242,12 +287,109 @@ def cmd_reproduce(args) -> int:
     return 0 if report.all_passed else 2
 
 
+def _parse_campaign_params(pairs) -> dict:
+    """Parse repeated ``-P key=value`` flags with literal-typed values."""
+    import ast
+
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad -P parameter {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            params[key] = raw  # plain string (e.g. -P pulse_block=IntReg)
+    return params
+
+
+def _campaign_run(args) -> int:
+    import time as _time
+
+    from .campaign import (
+        ResultCache,
+        default_cache_dir,
+        disk_cache_enabled,
+        get_campaign,
+        run_campaign,
+    )
+
+    spec = get_campaign(args.name, **_parse_campaign_params(args.param))
+    cache = None
+    cache_root = args.cache_dir or default_cache_dir()
+    use_cache = not args.no_cache and disk_cache_enabled()
+    if use_cache:
+        cache = ResultCache(cache_root)
+    manifest = args.manifest
+    if manifest is None and use_cache:
+        stamp = _time.strftime("%Y%m%d-%H%M%S")
+        manifest = f"{cache_root}/manifests/{spec.name}-{stamp}.jsonl"
+
+    print(f"campaign {spec.name}: {len(spec)} jobs, "
+          f"{args.jobs} worker(s), cache "
+          f"{'off' if cache is None else cache_root}", file=sys.stderr)
+    run = run_campaign(
+        spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
+        timeout=args.timeout, retries=args.retries, force=args.force,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    summary = run.summary
+    print(f"{summary.n_ok}/{summary.n_jobs} jobs ok, "
+          f"{summary.n_cached} cached "
+          f"(hit rate {100 * summary.hit_rate:.0f}%), "
+          f"p50 {summary.p50_wall_s:.3f} s, "
+          f"p95 {summary.p95_wall_s:.3f} s, "
+          f"total {summary.total_wall_s:.3f} s")
+    if manifest:
+        print(f"manifest: {manifest}")
+    return 0 if run.ok else 2
+
+
+def _campaign_list(args) -> int:
+    from .campaign import list_campaigns
+
+    for definition in list_campaigns():
+        print(f"{definition.name:<14} {definition.description}")
+    return 0
+
+
+def _campaign_status(args) -> int:
+    from .campaign import ResultCache, default_cache_dir, manifest_summary
+
+    root = args.cache_dir or default_cache_dir()
+    stats = ResultCache(root).stats()
+    print(f"cache: {stats['root']}")
+    print(f"  results: {stats['n_results']}  traces: {stats['n_traces']}  "
+          f"size: {stats['bytes'] / 1e6:.1f} MB")
+    if args.manifest:
+        summary = manifest_summary(args.manifest)
+        if summary is None:
+            print(f"manifest {args.manifest}: no records")
+            return 1
+        print(f"manifest: {args.manifest}")
+        print(f"  campaign {summary.campaign}: {summary.n_ok}/"
+              f"{summary.n_jobs} ok, hit rate "
+              f"{100 * summary.hit_rate:.0f}%, p50 "
+              f"{summary.p50_wall_s:.3f} s, p95 {summary.p95_wall_s:.3f} s")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    handlers = {
+        "run": _campaign_run,
+        "list": _campaign_list,
+        "status": _campaign_status,
+    }
+    return handlers[args.campaign_command](args)
+
+
 _COMMANDS = {
     "steady": cmd_steady,
     "transient": cmd_transient,
     "render": cmd_render,
     "info": cmd_info,
     "reproduce": cmd_reproduce,
+    "campaign": cmd_campaign,
 }
 
 

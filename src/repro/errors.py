@@ -49,3 +49,11 @@ class PowerTraceError(ReproError):
 
 class ConfigurationError(ReproError):
     """A cooling configuration or experiment setup is self-inconsistent."""
+
+
+class CampaignError(ReproError):
+    """A simulation campaign is malformed or failed to execute.
+
+    Examples: an unknown campaign or job-runner name, duplicate job
+    tags within one campaign, or a job that exhausted its retries.
+    """

@@ -18,9 +18,13 @@ from .fig09 import run_fig09, Fig09Result
 from .fig10 import run_fig10, Fig10Result
 from .fig11 import run_fig11, Fig11Result
 from .fig12 import run_fig12, Fig12Result
+from .design_space import run_design_space, PackagePoint
+from .dtm_study import run_dtm_comparison, DTMPolicyOutcome
 
 __all__ = [
     "common",
+    "run_design_space", "PackagePoint",
+    "run_dtm_comparison", "DTMPolicyOutcome",
     "run_fig02", "Fig02Result",
     "run_fig03", "Fig03Result",
     "run_fig04", "Fig04Result",

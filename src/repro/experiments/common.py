@@ -80,18 +80,43 @@ def ev6_air_model(
     return ThermalGridModel(plan, config, nx=nx, ny=ny)
 
 
+def _trace_store():
+    """The machine-wide on-disk trace cache, or ``None`` when disabled.
+
+    Routed through :mod:`repro.campaign.cache` so the deterministic
+    functional simulations below are computed once per machine rather
+    than once per process — campaign workers in fresh processes load
+    the stored trace instead of re-simulating.  Disable with
+    ``REPRO_DISK_CACHE=0``; relocate with ``REPRO_CACHE_DIR``.
+    """
+    from ..campaign.cache import machine_cache
+
+    return machine_cache()
+
+
 @lru_cache(maxsize=4)
 def gcc_power_trace(
     instructions: int = 500_000, seed: int = 0
 ) -> PowerTrace:
     """The gcc-like EV6 power trace from the microarchitecture simulator.
 
-    Cached: the functional simulation is deterministic for a given
-    (instructions, seed) pair, and several figures share it.
+    Cached twice over: in-process by ``lru_cache`` and on disk by the
+    campaign trace store — the functional simulation is deterministic
+    for a given (instructions, seed) pair, and several figures (and
+    every campaign worker) share it.
     """
+    key = f"gcc_power_trace/v1/instructions={instructions}/seed={seed}"
+    store = _trace_store()
+    if store is not None:
+        cached = store.get_trace(key)
+        if cached is not None:
+            return cached
     plan = ev6_floorplan()
     simulator = MicroarchSimulator(plan)
-    return simulator.run(gcc_like_workload(instructions=instructions, seed=seed))
+    trace = simulator.run(gcc_like_workload(instructions=instructions, seed=seed))
+    if store is not None:
+        store.put_trace(key, trace)
+    return trace
 
 
 def gcc_average_power(instructions: int = 500_000) -> Dict[str, float]:
@@ -113,15 +138,29 @@ def gcc_synthesized_trace(
     Functionally simulates ``instructions``, then statistically extends
     the phase-labelled window process to ``duration`` seconds with
     :class:`~repro.microarch.TraceSynthesizer` (see that module for why
-    this is the right tool for 100 ms-scale thermal runs).
+    this is the right tool for 100 ms-scale thermal runs).  Like
+    :func:`gcc_power_trace`, the synthesized trace is stored in the
+    machine-wide disk cache keyed on every generation parameter.
     """
+    key = (
+        f"gcc_synthesized_trace/v1/duration={duration!r}/"
+        f"instructions={instructions}/seed={seed}/mean_dwell={mean_dwell!r}"
+    )
+    store = _trace_store()
+    if store is not None:
+        cached = store.get_trace(key)
+        if cached is not None:
+            return cached
     plan = ev6_floorplan()
     simulator = MicroarchSimulator(plan)
     base = simulator.run(gcc_like_workload(instructions=instructions, seed=seed))
     synthesizer = TraceSynthesizer(
         base, simulator.last_window_phases, seed=seed
     )
-    return synthesizer.synthesize(duration, mean_dwell=mean_dwell)
+    trace = synthesizer.synthesize(duration, mean_dwell=mean_dwell)
+    if store is not None:
+        store.put_trace(key, trace)
+    return trace
 
 
 def athlon_oil_model(

@@ -15,13 +15,12 @@ h(x) of Eqns 7-8, for the four axis-aligned flow directions.  Claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.thermal_maps import hottest_block
+from ..campaign import CampaignSpec, JobSpec, ModelSpec, ResultCache, run_campaign
 from ..convection.flow import ALL_DIRECTIONS, FlowDirection
-from ..solver import steady_block_temperatures
 from ..units import ZERO_CELSIUS_IN_KELVIN
-from .common import celsius, ev6_oil_model, gcc_average_power
 
 #: Human-readable labels matching the paper's column headers.
 DIRECTION_LABELS = {
@@ -63,23 +62,49 @@ class Fig11Result:
         return max(values) - min(values)
 
 
+def fig11_campaign(
+    nx: int = 32,
+    ny: int = 32,
+    velocity: float = 10.0,
+    instructions: int = 500_000,
+) -> CampaignSpec:
+    """The Fig. 11 sweep as a campaign: one steady job per direction."""
+    jobs = tuple(
+        JobSpec.make(
+            "steady_blocks",
+            tag=direction.value,
+            model=ModelSpec(
+                chip="ev6", package="oil", nx=nx, ny=ny,
+                direction=direction.value, velocity=velocity,
+                uniform_h=False, include_secondary=True, ambient_c=45.0,
+            ),
+            power="gcc_average", instructions=instructions,
+        )
+        for direction in ALL_DIRECTIONS
+    )
+    return CampaignSpec(name="fig11", jobs=jobs)
+
+
 def run_fig11(
     nx: int = 32,
     ny: int = 32,
     velocity: float = 10.0,
     instructions: int = 500_000,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Fig11Result:
-    """Run the Fig. 11 flow-direction sweep."""
-    powers = gcc_average_power(instructions)
+    """Run the Fig. 11 flow-direction sweep through the campaign engine."""
+    run = run_campaign(
+        fig11_campaign(nx=nx, ny=ny, velocity=velocity,
+                       instructions=instructions),
+        jobs=jobs, cache=cache,
+    )
     temps: Dict[FlowDirection, Dict[str, float]] = {}
     for direction in ALL_DIRECTIONS:
-        model = ev6_oil_model(
-            nx=nx, ny=ny, direction=direction, velocity=velocity,
-            uniform_h=False, include_secondary=True,
-            ambient=celsius(45.0),
-        )
-        kelvin = steady_block_temperatures(model, powers)
+        result = run.result_for(direction.value)
+        names = result.meta["block_names"]
         temps[direction] = {
-            k: v - ZERO_CELSIUS_IN_KELVIN for k, v in kelvin.items()
+            name: kelvin - ZERO_CELSIUS_IN_KELVIN
+            for name, kelvin in zip(names, result.arrays["block_temps_k"])
         }
     return Fig11Result(temps_c=temps)

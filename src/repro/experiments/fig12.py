@@ -19,15 +19,13 @@ Claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..analysis.time_constants import required_sampling_interval
-from ..power.trace import PowerTrace
-from ..solver import simulate_schedule, steady_state
+from ..campaign import CampaignSpec, JobSpec, ModelSpec, ResultCache, run_campaign
 from ..units import ZERO_CELSIUS_IN_KELVIN
-from .common import celsius, ev6_air_model, ev6_oil_model
 
 
 @dataclass
@@ -68,6 +66,40 @@ class Fig12Result:
         return float(np.mean(ordered[:, -1] - ordered[:, -2]))
 
 
+def fig12_campaign(
+    instructions: int = 500_000,
+    duration: float = 0.040,
+    rconv: float = 0.3,
+    nx: int = 24,
+    ny: int = 24,
+    thermal_stride: int = 10,
+) -> CampaignSpec:
+    """The Fig. 12 experiment as a campaign: one transient per package."""
+    trace_params = dict(
+        duration=duration, instructions=instructions,
+        thermal_stride=thermal_stride, init="steady",
+    )
+    oil = JobSpec.make(
+        "trace_transient", tag="oil",
+        model=ModelSpec(
+            chip="ev6", package="oil", nx=nx, ny=ny,
+            uniform_h=True, target_resistance=rconv,
+            include_secondary=True, ambient_c=45.0,
+        ),
+        **trace_params,
+    )
+    air = JobSpec.make(
+        "trace_transient", tag="air",
+        model=ModelSpec(
+            chip="ev6", package="air", nx=nx, ny=ny,
+            convection_resistance=rconv, include_secondary=False,
+            ambient_c=45.0,
+        ),
+        **trace_params,
+    )
+    return CampaignSpec(name="fig12", jobs=(oil, air))
+
+
 def run_fig12(
     instructions: int = 500_000,
     duration: float = 0.040,
@@ -75,8 +107,10 @@ def run_fig12(
     nx: int = 24,
     ny: int = 24,
     thermal_stride: int = 10,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Fig12Result:
-    """Run the Fig. 12 trace-driven experiment.
+    """Run the Fig. 12 trace-driven experiment via the campaign engine.
 
     The power trace comes from the functional simulation extended to
     ``duration`` seconds by the phase-level synthesizer (the paper's
@@ -84,45 +118,34 @@ def run_fig12(
     covering many program phases).  ``thermal_stride`` bins the 3.3 us
     power samples into coarser thermal steps -- 33 us by default, far
     below the millisecond thermal dynamics of interest and below the
-    ~60 us sensor-sampling bound the experiment derives.
+    ~60 us sensor-sampling bound the experiment derives.  Both package
+    jobs synthesize the same deterministic trace (shared through the
+    machine-wide trace cache when enabled).
     """
-    ambient = celsius(45.0)
-    from .common import gcc_synthesized_trace
-
-    trace: PowerTrace = gcc_synthesized_trace(duration, instructions)
-    if thermal_stride > 1:
-        trace = trace.resampled(thermal_stride)
-    oil = ev6_oil_model(
-        nx=nx, ny=ny, uniform_h=True, target_resistance=rconv,
-        include_secondary=True, ambient=ambient,
+    run = run_campaign(
+        fig12_campaign(
+            instructions=instructions, duration=duration, rconv=rconv,
+            nx=nx, ny=ny, thermal_stride=thermal_stride,
+        ),
+        jobs=jobs, cache=cache,
     )
-    air = ev6_air_model(
-        nx=nx, ny=ny, convection_resistance=rconv, ambient=ambient
-    )
-    plan = oil.floorplan
-    ambient_c = ambient - ZERO_CELSIUS_IN_KELVIN
-
-    def run(model):
-        schedule = trace.to_schedule(model)
-        x0 = steady_state(model.network, model.node_power(trace.average()))
-        result = simulate_schedule(
-            model.network, schedule, dt=trace.dt, x0=x0,
-            projector=model.block_rise,
-        )
-        return result.times, result.states + ambient_c
-
-    times, oil_c = run(oil)
-    _, air_c = run(air)
+    oil_result = run.result_for("oil")
+    air_result = run.result_for("air")
+    plan_names = list(oil_result.meta["block_names"])
+    ambient_c = oil_result.meta["ambient_k"] - ZERO_CELSIUS_IN_KELVIN
+    times = oil_result.arrays["times"]
+    oil_c = oil_result.arrays["block_rise_k"] + ambient_c
+    air_c = air_result.arrays["block_rise_k"] + ambient_c
 
     def hottest_five(data: np.ndarray) -> List[str]:
         order = np.argsort(data.mean(axis=0))[::-1][:5]
-        return [plan.names[i] for i in order]
+        return [plan_names[i] for i in order]
 
     return Fig12Result(
         times=times,
         oil_blocks_c=oil_c,
         air_blocks_c=air_c,
-        block_names=plan.names,
+        block_names=plan_names,
         hottest_five_air=hottest_five(air_c),
         hottest_five_oil=hottest_five(oil_c),
     )

@@ -74,6 +74,16 @@ class ThermalNetwork:
             ).tocsc()
         return self._system
 
+    def invalidate(self) -> None:
+        """Drop the cached system matrix after an in-place mutation.
+
+        Call after editing ``ambient_conductance`` (or the Laplacian)
+        directly; the next solve then reassembles ``A`` and, because
+        the steady solver keys its factor cache on the matrix content,
+        refactorizes instead of reusing the stale factorization.
+        """
+        self._system = None
+
     def total_ambient_conductance(self) -> float:
         """Sum of all conductances to ambient, W/K."""
         return float(self.ambient_conductance.sum())

@@ -6,10 +6,14 @@ system matrix of the network.  The sparse Cholesky-like factorization is
 delegated to SuperLU via :func:`scipy.sparse.linalg.splu` and cached on
 the network, so repeated solves (e.g. the four flow directions of the
 paper's Fig. 11, or DTM sweeps) refactor only when the network changes.
+The cache is keyed on a fingerprint of the system matrix itself, so
+mutating the network (or rebuilding its system matrix) after a solve
+triggers refactorization instead of silently reusing a stale factor.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Union
 
 import numpy as np
@@ -22,14 +26,33 @@ from ..rcmodel.network import ThermalNetwork
 _FACTOR_CACHE_ATTR = "_cached_lu_factor"
 
 
+def system_fingerprint(matrix) -> str:
+    """A fast content hash of a CSC/CSR sparse matrix.
+
+    Hashes the value/index/pointer arrays and the shape; two matrices
+    share a fingerprint iff they hold identical sparse content.  Cost
+    is linear in nnz (a memory pass), negligible next to a
+    factorization but enough to catch in-place mutation.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(matrix.shape).encode())
+    digest.update(np.ascontiguousarray(matrix.data).tobytes())
+    digest.update(np.ascontiguousarray(matrix.indices).tobytes())
+    digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
+    return digest.hexdigest()
+
+
 def _factorize(network: ThermalNetwork):
-    factor = getattr(network, _FACTOR_CACHE_ATTR, None)
-    if factor is None:
-        try:
-            factor = splu(network.system_matrix)
-        except RuntimeError as exc:  # singular matrix
-            raise SolverError(f"steady-state factorization failed: {exc}") from exc
-        setattr(network, _FACTOR_CACHE_ATTR, factor)
+    matrix = network.system_matrix
+    fingerprint = system_fingerprint(matrix)
+    cached = getattr(network, _FACTOR_CACHE_ATTR, None)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    try:
+        factor = splu(matrix)
+    except RuntimeError as exc:  # singular matrix
+        raise SolverError(f"steady-state factorization failed: {exc}") from exc
+    setattr(network, _FACTOR_CACHE_ATTR, (fingerprint, factor))
     return factor
 
 

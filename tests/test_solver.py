@@ -156,3 +156,45 @@ def test_steady_block_temperatures_helper():
     temps = steady_block_temperatures(model, {"die": 100.0})
     assert set(temps) == {"die"}
     assert temps["die"] > 300.0
+
+
+def test_factor_cache_invalidated_when_network_mutated():
+    """Regression: mutating the network after a solve must refactorize.
+
+    The factor cache used to be a bare attribute set once per network;
+    rebuilding the system matrix (e.g. after editing the ambient
+    conductances in place) silently reused the stale factorization and
+    returned temperatures for the *old* network.
+    """
+    builder = NetworkBuilder()
+    a = builder.add_node(1.0)
+    b = builder.add_node(1.0)
+    builder.connect(a, b, 0.5)
+    builder.to_ambient(a, 0.25)
+    net = builder.build()
+    power = np.array([2.0, 1.0])
+    first = steady_state(net, power)
+
+    # Double the path to ambient in place and rebuild the system matrix.
+    net.ambient_conductance[a] *= 2.0
+    net.invalidate()
+    mutated = steady_state(net, power)
+
+    # A fresh network with the doubled conductance is the ground truth.
+    builder = NetworkBuilder()
+    a2 = builder.add_node(1.0)
+    b2 = builder.add_node(1.0)
+    builder.connect(a2, b2, 0.5)
+    builder.to_ambient(a2, 0.5)
+    reference = steady_state(builder.build(), power)
+
+    np.testing.assert_allclose(mutated, reference)
+    assert not np.allclose(mutated, first)
+
+
+def test_factor_cache_reused_for_unchanged_network():
+    net = single_rc(r=2.0)
+    steady_state(net, np.array([5.0]))
+    factor_before = net._cached_lu_factor[1]
+    steady_state(net, np.array([7.0]))
+    assert net._cached_lu_factor[1] is factor_before
