@@ -6,7 +6,6 @@ packages; the five hottest blocks are reported, along with the
 Section 5.2 sensor-sampling-interval analysis.
 """
 
-import numpy as np
 
 from repro.experiments import run_fig12
 from repro.floorplan import ev6_floorplan

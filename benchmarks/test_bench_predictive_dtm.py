@@ -8,7 +8,6 @@ quantifies the violation-time reduction predictive control buys on
 each package for the same policy, threshold, and engagement duration.
 """
 
-import numpy as np
 
 from repro.dtm import (
     ClockGating,

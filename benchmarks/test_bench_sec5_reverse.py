@@ -23,7 +23,6 @@ from repro.experiments.common import celsius
 from repro.floorplan import GridMapping, ev6_floorplan, multicore_floorplan
 from repro.package import oil_silicon_package
 from repro.rcmodel import ThermalGridModel
-from repro.sensors import place_at_hotspot, placement_error
 from repro.solver import steady_state
 
 

@@ -7,7 +7,6 @@ sampling interval from the Fig. 12 traces for several resolutions and
 both packages, and confirms the two packages land in the same regime.
 """
 
-import numpy as np
 
 from repro.experiments import run_fig12
 

@@ -9,7 +9,6 @@ apparent die-to-die thermal distribution, so guard-bands derived on
 the bench are systematically larger than the real package needs.
 """
 
-import numpy as np
 
 from repro.analysis import power_variation_study
 from repro.experiments.common import celsius, gcc_average_power

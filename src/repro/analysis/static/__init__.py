@@ -1,0 +1,57 @@
+"""Physics-aware static analysis for the reproduction codebase.
+
+An AST-based checker with five rules, each mapped to a real failure
+mode of this repository (see DESIGN.md, "Static analysis"):
+
+* ``unit-consistency`` (R1) — dimension mismatches and magic material
+  constants, driven by the machine-readable tables in
+  :mod:`repro.units`;
+* ``cache-invalidation`` (R2) — thermal-network mutation without
+  ``invalidate()``, the PR-1 stale-LU bug generalized;
+* ``hash-determinism`` (R3) — nondeterminism reaching content-hash /
+  fingerprint code (the campaign cache's integrity);
+* ``pickle-safety`` (R4) — unpicklable callables or shared mutable
+  state at the process-pool boundary;
+* ``float-equality`` (R5) — exact float comparison outside declared
+  sentinels.
+
+Run it via ``repro analyze [paths]`` (text/JSON/SARIF output, committed
+baseline, CI gating) or programmatically through
+:func:`analyze_paths`.
+"""
+
+from .baseline import DEFAULT_BASELINE, Baseline, finding_fingerprint
+from .core import (
+    Finding,
+    Rule,
+    SourceFile,
+    make_rules,
+    rule_names,
+    severity_rank,
+)
+from .dimensions import DIMENSIONLESS, Dimension, DimensionError, parse_dimension
+from .report import format_json, format_sarif, format_text
+from .runner import AnalysisResult, analyze_file, analyze_paths, iter_python_files
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "DIMENSIONLESS",
+    "Dimension",
+    "DimensionError",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "analyze_file",
+    "analyze_paths",
+    "finding_fingerprint",
+    "format_json",
+    "format_sarif",
+    "format_text",
+    "iter_python_files",
+    "make_rules",
+    "parse_dimension",
+    "rule_names",
+    "severity_rank",
+]

@@ -1,0 +1,166 @@
+"""Baseline files: ratcheting legacy findings down without blocking CI.
+
+A baseline is a committed JSON file holding a *fingerprint* for every
+known finding.  ``repro analyze --baseline FILE`` subtracts baselined
+findings from the report, so the CI gate (``--fail-on=error``) fails
+only on *new* violations while the legacy ones burn down; deleting the
+offending code (or fixing it) makes its fingerprint stale, and
+``--write-baseline`` refreshes the file.
+
+Fingerprints are content-anchored, not line-anchored: SHA-256 over
+``(rule, path, stripped source-line text, occurrence index)``.  Adding
+or removing unrelated lines above a finding does not invalidate its
+fingerprint; editing the flagged line itself does — which is exactly
+when a human should re-look.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .core import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def normalize_path(path: str) -> str:
+    """Forward slashes, and relative to the working directory when inside it.
+
+    Keeps fingerprints identical whether the analyzer was invoked as
+    ``repro analyze src`` or ``repro analyze /abs/path/to/src`` from the
+    repo root — the committed baseline stores repo-relative paths.
+    """
+    if os.path.isabs(path):
+        rel = os.path.relpath(path)
+        if not rel.startswith(".."):
+            path = rel
+    return path.replace(os.sep, "/").replace("\\", "/")
+
+
+def finding_fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    """Stable identity of a finding (see module docstring)."""
+    path = normalize_path(finding.path)
+    payload = f"{finding.rule}|{path}|{line_text.strip()}|{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding],
+    line_lookup,
+) -> List[Tuple[str, Finding]]:
+    """Pair each finding with its fingerprint.
+
+    ``line_lookup(path, line)`` must return the source text of the
+    flagged line.  Occurrence indices disambiguate identical lines
+    (e.g. the same mutation pattern pasted twice in one file).
+    """
+    counters: Dict[Tuple[str, str, str], int] = {}
+    pairs: List[Tuple[str, Finding]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        line_text = line_lookup(finding.path, finding.line).strip()
+        key = (finding.rule, normalize_path(finding.path), line_text)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        pairs.append((finding_fingerprint(finding, line_text, occurrence), finding))
+    return pairs
+
+
+@dataclass
+class Baseline:
+    """The set of accepted legacy findings."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path!r} has version {version!r}; "
+                f"this tool writes version {BASELINE_VERSION}. "
+                f"Regenerate with --write-baseline."
+            )
+        return cls(entries=dict(payload.get("findings", {})))
+
+    @classmethod
+    def from_findings(
+        cls, pairs: Sequence[Tuple[str, Finding]]
+    ) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for fingerprint, finding in pairs:
+            entries[fingerprint] = {
+                "rule": finding.rule,
+                "severity": finding.severity,
+                "path": normalize_path(finding.path),
+                "line": finding.line,
+                "message": finding.message,
+            }
+        return cls(entries=entries)
+
+    def write(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Accepted legacy findings of `repro analyze`. Entries are "
+                "content-fingerprinted; regenerate with "
+                "`repro analyze --write-baseline` after intentional changes."
+            ),
+            "findings": {
+                fingerprint: self.entries[fingerprint]
+                for fingerprint in sorted(self.entries)
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def partition(
+        self,
+        pairs: Sequence[Tuple[str, Finding]],
+        in_scope: Optional[Callable[[str], bool]] = None,
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (new, baselined); also report stale entries.
+
+        Stale entries are fingerprints present in the baseline but not
+        in the current findings — evidence the underlying code was
+        fixed, so the baseline should be regenerated.  ``in_scope``
+        limits staleness to entries whose recorded path was actually
+        analyzed this run: an ``src``-only run says nothing about
+        baselined findings that live under ``tests/``.
+        """
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        seen = set()
+        for fingerprint, finding in pairs:
+            if fingerprint in self.entries:
+                matched.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(
+            fingerprint
+            for fingerprint, entry in self.entries.items()
+            if fingerprint not in seen
+            and (in_scope is None or in_scope(str(entry.get("path", ""))))
+        )
+        return new, matched, stale

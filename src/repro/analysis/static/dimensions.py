@@ -1,0 +1,213 @@
+"""Dimensional algebra for the unit-consistency rule.
+
+A :class:`Dimension` is a vector of integer exponents over the SI base
+units (kg, m, s, K, A, mol, cd).  Dimensions are parsed from compact
+unit strings — the format of :data:`repro.units.DIMENSIONS` — such as
+``"W/(m*K)"`` or ``"kg/m^3"``; derived units (W, J, N, Hz, Pa, V, C)
+expand to their base-unit definitions, so ``"W/(m*K)"`` and
+``"kg*m/(s^3*K)"`` parse to the same dimension.
+
+The grammar is deliberately tiny::
+
+    expr   := term (('*' | '/') term)*
+    term   := factor ('^' signed_int)?
+    factor := unit_name | '1' | '(' expr ')'
+
+``'1'`` denotes the dimensionless unit.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Tuple
+
+#: SI base units, in canonical display order.
+BASE_UNITS = ("kg", "m", "s", "K", "A", "mol", "cd")
+
+#: Derived units expanded during parsing, as base-unit exponent maps.
+DERIVED_UNITS: Dict[str, Dict[str, int]] = {
+    "Hz": {"s": -1},
+    "N": {"kg": 1, "m": 1, "s": -2},
+    "Pa": {"kg": 1, "m": -1, "s": -2},
+    "J": {"kg": 1, "m": 2, "s": -2},
+    "W": {"kg": 1, "m": 2, "s": -3},
+    "C": {"A": 1, "s": 1},
+    "V": {"kg": 1, "m": 2, "s": -3, "A": -1},
+}
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<unit>[A-Za-z]+)|(?P<int>-?\d+)|(?P<op>[*/^()]))")
+
+
+class DimensionError(ValueError):
+    """A unit string failed to parse."""
+
+
+class Dimension:
+    """An immutable vector of base-unit exponents."""
+
+    __slots__ = ("_exponents",)
+
+    def __init__(self, exponents: Dict[str, int]) -> None:
+        unknown = set(exponents) - set(BASE_UNITS)
+        if unknown:
+            raise DimensionError(f"unknown base units: {sorted(unknown)}")
+        self._exponents: Tuple[Tuple[str, int], ...] = tuple(
+            (unit, exponents[unit])
+            for unit in BASE_UNITS
+            if exponents.get(unit, 0) != 0
+        )
+
+    @property
+    def exponents(self) -> Dict[str, int]:
+        return dict(self._exponents)
+
+    @property
+    def dimensionless(self) -> bool:
+        return not self._exponents
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dimension):
+            return NotImplemented
+        return self._exponents == other._exponents
+
+    def __hash__(self) -> int:
+        return hash(self._exponents)
+
+    def __mul__(self, other: "Dimension") -> "Dimension":
+        merged = self.exponents
+        for unit, power in other.exponents.items():
+            merged[unit] = merged.get(unit, 0) + power
+        return Dimension(merged)
+
+    def __truediv__(self, other: "Dimension") -> "Dimension":
+        merged = self.exponents
+        for unit, power in other.exponents.items():
+            merged[unit] = merged.get(unit, 0) - power
+        return Dimension(merged)
+
+    def __pow__(self, power: int) -> "Dimension":
+        return Dimension(
+            {unit: exp * power for unit, exp in self.exponents.items()}
+        )
+
+    def __str__(self) -> str:
+        if not self._exponents:
+            return "1"
+        num = [
+            unit if exp == 1 else f"{unit}^{exp}"
+            for unit, exp in self._exponents
+            if exp > 0
+        ]
+        den = [
+            unit if exp == -1 else f"{unit}^{-exp}"
+            for unit, exp in self._exponents
+            if exp < 0
+        ]
+        if not num:
+            return "*".join(
+                f"{unit}^{exp}" for unit, exp in self._exponents
+            )
+        text = "*".join(num)
+        if den:
+            joined = "*".join(den)
+            text += f"/({joined})" if len(den) > 1 else f"/{joined}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"Dimension({self})"
+
+
+DIMENSIONLESS = Dimension({})
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DimensionError(
+                f"bad unit string {text!r} at offset {pos}"
+            )
+        pos = match.end()
+        for kind in ("unit", "int", "op"):
+            value = match.group(kind)
+            if value is not None:
+                yield kind, value
+                break
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str]] = list(_tokenize(text))
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ("end", "")
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        kind, value = self.advance()
+        if kind != "op" or value != op:
+            raise DimensionError(
+                f"bad unit string {self.text!r}: expected {op!r}, got {value!r}"
+            )
+
+    def parse(self) -> Dimension:
+        dim = self.expr()
+        if self.peek()[0] != "end":
+            raise DimensionError(
+                f"bad unit string {self.text!r}: trailing {self.peek()[1]!r}"
+            )
+        return dim
+
+    def expr(self) -> Dimension:
+        dim = self.term()
+        while self.peek() in (("op", "*"), ("op", "/")):
+            _, op = self.advance()
+            rhs = self.term()
+            dim = dim * rhs if op == "*" else dim / rhs
+        return dim
+
+    def term(self) -> Dimension:
+        dim = self.factor()
+        if self.peek() == ("op", "^"):
+            self.advance()
+            kind, value = self.advance()
+            if kind != "int":
+                raise DimensionError(
+                    f"bad unit string {self.text!r}: exponent must be an integer"
+                )
+            dim = dim ** int(value)
+        return dim
+
+    def factor(self) -> Dimension:
+        kind, value = self.advance()
+        if kind == "unit":
+            if value in BASE_UNITS:
+                return Dimension({value: 1})
+            if value in DERIVED_UNITS:
+                return Dimension(dict(DERIVED_UNITS[value]))
+            raise DimensionError(
+                f"bad unit string {self.text!r}: unknown unit {value!r}"
+            )
+        if kind == "int" and value == "1":
+            return DIMENSIONLESS
+        if kind == "op" and value == "(":
+            dim = self.expr()
+            self.expect_op(")")
+            return dim
+        raise DimensionError(
+            f"bad unit string {self.text!r}: unexpected {value!r}"
+        )
+
+
+def parse_dimension(text: str) -> Dimension:
+    """Parse a unit string (``"W/(m*K)"``, ``"kg/m^3"``, ``"1"``, ...)."""
+    return _Parser(text).parse()

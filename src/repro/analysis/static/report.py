@@ -1,0 +1,151 @@
+"""Output formats for analyzer findings: text, JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning and most editor integrations consume; the emitter here
+covers the minimal conforming subset: one run, a tool descriptor with
+per-rule metadata, and one result per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .core import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-analyze"
+TOOL_VERSION = "1.0.0"
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def format_text(
+    findings: Sequence[Finding],
+    show_hints: bool = True,
+    baselined_count: int = 0,
+    stale_count: int = 0,
+) -> str:
+    """Human-readable report, one finding per line (plus hints)."""
+    lines: List[str] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines.append(
+            f"{finding.location()}: {finding.severity} "
+            f"[{finding.rule}] {finding.message}"
+        )
+        if show_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    summary = ", ".join(
+        f"{counts[name]} {name}(s)"
+        for name in ("error", "warning", "note")
+        if name in counts
+    ) or "no findings"
+    lines.append(summary)
+    if baselined_count:
+        lines.append(f"{baselined_count} baselined finding(s) suppressed")
+    if stale_count:
+        lines.append(
+            f"{stale_count} stale baseline entr(y/ies): the flagged code "
+            f"is gone; refresh with --write-baseline"
+        )
+    return "\n".join(lines)
+
+
+def format_json(
+    findings: Sequence[Finding],
+    baselined_count: int = 0,
+    stale_count: int = 0,
+) -> str:
+    """Machine-readable JSON report (deterministic encoding)."""
+    payload = {
+        "version": 1,
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "summary": {
+            "total": len(findings),
+            "baselined": baselined_count,
+            "stale_baseline_entries": stale_count,
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity,
+                "path": finding.path.replace("\\", "/"),
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "hint": finding.hint,
+            }
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """SARIF 2.1.0 report (deterministic encoding)."""
+    rule_meta = []
+    for rule in sorted(rules or [], key=lambda r: r.name):
+        rule_meta.append(
+            {
+                "id": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS.get(rule.severity, "warning")
+                },
+            }
+        )
+    results = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        result = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.hint:
+            result["fixes"] = [
+                {"description": {"text": finding.hint}}
+            ]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri":
+                            "https://github.com/repro/repro#static-analysis",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

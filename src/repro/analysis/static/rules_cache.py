@@ -1,0 +1,150 @@
+"""R2 — cache invalidation after mutation.
+
+:class:`~repro.rcmodel.network.ThermalNetwork` caches its assembled
+system matrix (and the steady solver hangs an LU factor off it); both
+caches go stale the moment ``ambient_conductance``, ``capacitance`` or
+the Laplacian is mutated in place.  PR 1's worst latent bug was exactly
+this: a sweep mutated ``ambient_conductance`` and the solver served the
+previous factorization.  The contract is *every mutation is followed by
+``invalidate()``* on the same object before the function returns.
+
+The rule is intraprocedural: within each function it records writes to
+monitored attributes (plain, augmented, and subscript assignments, plus
+in-place ndarray mutators like ``.fill()``/``.put()``) and the
+``<base>.invalidate()`` calls, keyed by the textual base expression
+(``net``, ``self.network``, ...).  A write with no later ``invalidate()``
+on the same base is flagged.
+
+Exemptions: ``self.<attr>`` writes (an object managing its own storage
+is the cache owner — ``ThermalNetwork.invalidate`` itself must not be
+asked to call ``invalidate()``), and ``__init__``/``invalidate``
+methods.  An ``invalidate()`` anywhere later in the function counts for
+every path; branch-only invalidation is accepted (false negatives are
+preferred over noise here).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .core import Finding, Rule, SourceFile, expr_source, iter_functions, register
+
+#: Attribute names whose in-place mutation stales the cached system
+#: matrix / LU factor of a thermal network.
+MONITORED_ATTRIBUTES = frozenset(
+    {"ambient_conductance", "capacitance", "_laplacian"}
+)
+
+#: ndarray methods that mutate in place.
+INPLACE_NDARRAY_METHODS = frozenset({"fill", "put", "sort", "partition", "resize"})
+
+EXEMPT_FUNCTIONS = frozenset({"__init__", "__post_init__", "invalidate"})
+
+
+@dataclass
+class _Write:
+    node: ast.AST
+    base: str
+    attr: str
+
+
+def _monitored_attribute(node: ast.AST) -> Optional[ast.Attribute]:
+    """Return the monitored Attribute node a write target touches, or None."""
+    if isinstance(node, ast.Attribute) and node.attr in MONITORED_ATTRIBUTES:
+        return node
+    if isinstance(node, (ast.Subscript, ast.Starred)):
+        return _monitored_attribute(node.value)
+    return None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect monitored writes and invalidate() calls in one function."""
+
+    def __init__(self) -> None:
+        self.writes: List[_Write] = []
+        self.invalidations: List[ast.Call] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are scanned separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _record_target(self, target: ast.AST) -> None:
+        attribute = _monitored_attribute(target)
+        if attribute is not None:
+            self.writes.append(
+                _Write(
+                    node=target,
+                    base=expr_source(attribute.value),
+                    attr=attribute.attr,
+                )
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    self._record_target(element)
+            else:
+                self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "invalidate":
+                self.invalidations.append(node)
+            elif func.attr in INPLACE_NDARRAY_METHODS:
+                attribute = _monitored_attribute(func.value)
+                if attribute is not None:
+                    self.writes.append(
+                        _Write(
+                            node=node,
+                            base=expr_source(attribute.value),
+                            attr=attribute.attr,
+                        )
+                    )
+        self.generic_visit(node)
+
+
+@register
+class CacheInvalidationRule(Rule):
+    name = "cache-invalidation"
+    severity = "error"
+    description = (
+        "in-place mutation of thermal-network state without a later "
+        "invalidate() call in the same function"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for info in iter_functions(source.tree):
+            if info.node.name in EXEMPT_FUNCTIONS:
+                continue
+            scanner = _FunctionScanner()
+            for stmt in info.node.body:
+                scanner.visit(stmt)
+            for write in scanner.writes:
+                if write.base == "self":
+                    continue
+                covered = any(
+                    expr_source(call.func.value) == write.base
+                    and call.lineno >= write.node.lineno
+                    for call in scanner.invalidations
+                    if isinstance(call.func, ast.Attribute)
+                )
+                if not covered:
+                    yield self.finding(
+                        source, write.node,
+                        f"{write.base}.{write.attr} is mutated but "
+                        f"{write.base}.invalidate() is never called "
+                        f"afterwards in {info.qualname}()",
+                        hint=f"call {write.base}.invalidate() after the "
+                             f"mutation so the cached system matrix and "
+                             f"LU factor are rebuilt",
+                    )

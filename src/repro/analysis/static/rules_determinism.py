@@ -1,0 +1,175 @@
+"""R3 — hash determinism.
+
+The campaign engine's content-addressed cache rests on one property:
+the same :class:`~repro.campaign.spec.JobSpec` always produces the same
+SHA-256, across processes, interpreter runs, and machines
+(``PYTHONHASHSEED`` randomizes ``str`` hashing per process!).  Anything
+nondeterministic that leaks into fingerprint code corrupts the cache
+*silently*: wrong results are served forever with no error anywhere.
+
+The rule identifies *fingerprint functions* — functions that call into
+``hashlib``, ``canonical_json``/``content_hash``, or ``.hexdigest()``,
+or whose name matches ``hash|fingerprint|digest|canonical|payload|
+cache_key`` — and inside them flags:
+
+* calls to ``id()``, ``time.*``, ``datetime.now/utcnow``, ``random.*``
+  / ``np.random.*``, ``uuid.uuid1/uuid4``, ``os.urandom`` (error);
+* iteration over a set (literal, comprehension, ``set(...)`` call)
+  without a wrapping ``sorted()`` — set order is hash-randomized for
+  strings (error).
+
+Everywhere (fingerprint code or not), ``json.dumps`` without
+``sort_keys=True`` is flagged: dict order is insertion order, so two
+call sites building "the same" payload in different orders encode
+differently.  Severity is error inside fingerprint functions, warning
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Set
+
+from .core import Finding, Rule, SourceFile, dotted_name, iter_functions, register
+
+_FINGERPRINT_NAME_RE = re.compile(
+    r"hash|fingerprint|digest|canonical|payload|cache_key", re.IGNORECASE
+)
+
+#: Dotted-name prefixes whose call results are nondeterministic.
+NONDETERMINISTIC_CALLS = (
+    "id",
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "random.",
+    "np.random.",
+    "numpy.random.",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.",
+)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def _is_fingerprint_function(node: ast.AST, qualname: str) -> bool:
+    if _FINGERPRINT_NAME_RE.search(qualname.rsplit(".", 1)[-1]):
+        return True
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = _call_name(child)
+            if name is None:
+                continue
+            if name.startswith("hashlib.") or name in (
+                "canonical_json", "content_hash", "_sha256",
+            ):
+                return True
+            if isinstance(child.func, ast.Attribute) and child.func.attr in (
+                "hexdigest", "digest",
+            ):
+                return True
+    return False
+
+
+def _nondeterministic(name: str) -> bool:
+    for pattern in NONDETERMINISTIC_CALLS:
+        if pattern.endswith("."):
+            if name.startswith(pattern):
+                return True
+        elif name == pattern:
+            return True
+    return False
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class HashDeterminismRule(Rule):
+    name = "hash-determinism"
+    severity = "error"
+    description = (
+        "nondeterministic values (set order, id(), time, RNG) or "
+        "unsorted JSON reaching fingerprint/hash code"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        fingerprint_spans: Set[int] = set()
+        for info in iter_functions(source.tree):
+            inside = _is_fingerprint_function(info.node, info.qualname)
+            if inside:
+                for descendant in ast.walk(info.node):
+                    lineno = getattr(descendant, "lineno", None)
+                    if lineno is not None:
+                        fingerprint_spans.add(lineno)
+                yield from self._check_fingerprint_function(source, info)
+        yield from self._check_json_dumps(source, fingerprint_spans)
+
+    def _check_fingerprint_function(self, source: SourceFile, info) -> Iterator[Finding]:
+        node = info.node
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                name = _call_name(child)
+                if name is not None and _nondeterministic(name):
+                    yield self.finding(
+                        source, child,
+                        f"nondeterministic call {name}() inside fingerprint "
+                        f"function {info.qualname}()",
+                        hint="fingerprint inputs must be pure functions of "
+                             "the spec; pass timestamps/randomness in "
+                             "explicitly if they belong in the identity",
+                    )
+            iter_exprs = []
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                iter_exprs.append(child.iter)
+            elif isinstance(child, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iter_exprs.extend(gen.iter for gen in child.generators)
+            for iter_expr in iter_exprs:
+                if _is_set_expression(iter_expr):
+                    yield self.finding(
+                        source, iter_expr,
+                        f"iteration over a set inside fingerprint function "
+                        f"{info.qualname}(); set order is hash-randomized",
+                        hint="wrap the set in sorted(...) before iterating",
+                    )
+
+    def _check_json_dumps(
+        self, source: SourceFile, fingerprint_spans: Set[int]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in ("json.dumps", "dumps"):
+                continue
+            sorted_keys = any(
+                keyword.arg == "sort_keys" for keyword in node.keywords
+            )
+            if not sorted_keys:
+                in_fingerprint = node.lineno in fingerprint_spans
+                yield self.finding(
+                    source, node,
+                    "json.dumps without sort_keys=True encodes dict "
+                    "insertion order, not content",
+                    hint="pass sort_keys=True (and separators=(',', ':') "
+                         "for canonical form) so equal payloads encode "
+                         "equally",
+                    severity="error" if in_fingerprint else "warning",
+                )

@@ -1,0 +1,62 @@
+"""R5 — float equality.
+
+``==`` / ``!=`` against a float literal is almost always wrong in
+numerical code: after any arithmetic, rounding makes exact equality a
+coin flip (``0.1 + 0.2 != 0.3``), and a check that "worked" at one grid
+resolution fails at another.  The repo's solvers compare temperatures,
+conductances, and powers that have all been through sparse algebra —
+those comparisons must be tolerance-based
+(``math.isclose``/``np.isclose`` or an explicit ``abs(a - b) < tol``).
+
+Exact comparison *is* legitimate for sentinels: values assigned
+verbatim and never computed with, such as ``conductance == 0.0`` to
+skip an omitted edge, or a ``beta == 0.0`` "feature off" default.
+Those sites declare themselves with an inline
+``# repro-ok: float-equality`` pragma (the allowlist), which also
+documents the intent to the reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceFile, register
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    name = "float-equality"
+    severity = "error"
+    description = (
+        "== / != comparison against a float literal (use a tolerance, "
+        "or mark an exact sentinel with '# repro-ok: float-equality')"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_float_literal(left) or _is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        source, node,
+                        f"exact float comparison ({symbol} against a float "
+                        f"literal)",
+                        hint="use math.isclose()/np.isclose() or an explicit "
+                             "tolerance; if this is an exact sentinel, mark "
+                             "the line '# repro-ok: float-equality'",
+                    )

@@ -1,0 +1,139 @@
+"""The analysis driver: discover files, run rules, apply the baseline.
+
+:func:`analyze_paths` is the library entry point (used by the tests and
+the CLI); it returns an :class:`AnalysisResult` with new findings,
+baselined findings, and stale baseline fingerprints, plus everything
+the formatters in :mod:`.report` need.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, fingerprint_findings, normalize_path
+from .core import Finding, Rule, SourceFile, make_rules, severity_rank
+
+#: Directory basenames never descended into during discovery.
+EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist",
+     ".mypy_cache", ".ruff_cache", "analysis_fixtures"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                collected.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in EXCLUDED_DIRS and not d.startswith(".")
+            )
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(root, name)
+                if full not in seen:
+                    seen.add(full)
+                    collected.append(full)
+    return iter(sorted(collected))
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)   # new (not baselined)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_fingerprints: List[str] = field(default_factory=list)
+    rules: List[Rule] = field(default_factory=list)
+    files_analyzed: int = 0
+    #: fingerprint pairs for *all* findings (for --write-baseline)
+    all_pairs: List[Tuple[str, Finding]] = field(default_factory=list)
+
+    def worst_rank(self) -> int:
+        """Rank of the most severe new finding (-1 when clean)."""
+        if not self.findings:
+            return -1
+        return max(severity_rank(f.severity) for f in self.findings)
+
+    def fails(self, fail_on: str) -> bool:
+        """Whether the run should gate given a ``--fail-on`` threshold."""
+        if fail_on == "never":
+            return False
+        return self.worst_rank() >= severity_rank(fail_on)
+
+
+def analyze_file(source: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
+    """Run every rule over one parsed file, honoring pragmas."""
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(source):
+            if not source.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rule_names: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Analyze files/directories and apply an optional baseline."""
+    rules = make_rules(rule_names)
+    result = AnalysisResult(rules=rules)
+    sources: Dict[str, SourceFile] = {}
+    all_findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = SourceFile.from_path(path)
+        except SyntaxError as exc:
+            all_findings.append(
+                Finding(
+                    rule="parse-error",
+                    severity="error",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            result.files_analyzed += 1
+            continue
+        sources[path] = source
+        result.files_analyzed += 1
+        all_findings.extend(analyze_file(source, rules))
+
+    def line_lookup(path: str, line: int) -> str:
+        source = sources.get(path)
+        return source.line_text(line) if source is not None else ""
+
+    result.all_pairs = fingerprint_findings(all_findings, line_lookup)
+    if baseline is None:
+        result.findings = [finding for _, finding in result.all_pairs]
+    else:
+        scope_files = set()
+        scope_dirs = []
+        for path in paths:
+            if os.path.isdir(path):
+                scope_dirs.append(normalize_path(path).rstrip("/") + "/")
+            else:
+                scope_files.add(normalize_path(path))
+
+        def in_scope(entry_path: str) -> bool:
+            entry_path = normalize_path(entry_path)
+            return entry_path in scope_files or any(
+                entry_path.startswith(prefix) for prefix in scope_dirs
+            )
+
+        result.findings, result.baselined, result.stale_fingerprints = (
+            baseline.partition(result.all_pairs, in_scope=in_scope)
+        )
+    return result

@@ -20,7 +20,10 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+if TYPE_CHECKING:
+    from ..power.trace import PowerTrace
 
 import numpy as np
 
@@ -72,7 +75,7 @@ class JobResult:
 class ResultCache:
     """A content-addressed store of :class:`JobResult` and traces."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = Path(root)
         self._results = self.root / "results"
         self._traces = self.root / "traces"
@@ -144,7 +147,7 @@ class ResultCache:
         digest = hashlib.sha256(name.encode("utf-8")).hexdigest()
         return self._traces / f"{digest}.npz"
 
-    def put_trace(self, name: str, trace) -> None:
+    def put_trace(self, name: str, trace: "PowerTrace") -> None:
         """Store a :class:`~repro.power.PowerTrace` under a string key."""
         import io
 
@@ -158,7 +161,7 @@ class ResultCache:
         )
         self._atomic_write(self._trace_path(name), buffer.getvalue())
 
-    def get_trace(self, name: str):
+    def get_trace(self, name: str) -> Optional["PowerTrace"]:
         """Load a stored trace, or ``None`` on a miss/corrupt entry."""
         from ..power.trace import PowerTrace
 

@@ -25,7 +25,7 @@ import os
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import CampaignError
 from .cache import JobResult, ResultCache
@@ -34,7 +34,7 @@ from .runners import get_runner
 from .spec import CampaignSpec, JobSpec
 
 
-def execute_job(spec: JobSpec):
+def execute_job(spec: JobSpec) -> Tuple[JobResult, float, int]:
     """Run one job in the current process (the worker entry point).
 
     Module-level so it pickles to pool workers; returns

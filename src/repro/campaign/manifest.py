@@ -11,9 +11,10 @@ tooling.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -62,7 +63,7 @@ def summarize(
 class ManifestWriter:
     """Appends manifest records to a JSONL file as the run progresses."""
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -79,9 +80,9 @@ class ManifestWriter:
         self._append({"type": "summary", **asdict(summary)})
 
 
-def read_manifest(path) -> List[Dict[str, Any]]:
+def read_manifest(path: Union[str, "os.PathLike[str]"]) -> List[Dict[str, Any]]:
     """All records of a manifest file, skipping malformed lines."""
-    records = []
+    records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -94,7 +95,9 @@ def read_manifest(path) -> List[Dict[str, Any]]:
     return records
 
 
-def manifest_summary(path) -> Optional[CampaignSummary]:
+def manifest_summary(
+    path: Union[str, "os.PathLike[str]"]
+) -> Optional[CampaignSummary]:
     """The summary of a manifest: its summary line, else recomputed."""
     records = read_manifest(path)
     for record in reversed(records):

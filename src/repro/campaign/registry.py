@@ -29,10 +29,14 @@ class CampaignDefinition:
 _REGISTRY: Dict[str, CampaignDefinition] = {}
 
 
-def campaign_definition(name: str, description: str) -> Callable:
+def campaign_definition(
+    name: str, description: str
+) -> Callable[[Callable[..., CampaignSpec]], Callable[..., CampaignSpec]]:
     """Register a campaign builder under ``name``."""
 
-    def register(builder: Callable[..., CampaignSpec]):
+    def register(
+        builder: Callable[..., CampaignSpec]
+    ) -> Callable[..., CampaignSpec]:
         _REGISTRY[name] = CampaignDefinition(name, description, builder)
         return builder
 

@@ -24,10 +24,12 @@ from .spec import JobSpec
 RUNNERS: Dict[str, Callable[[JobSpec], JobResult]] = {}
 
 
-def runner(kind: str) -> Callable:
+def runner(
+    kind: str,
+) -> Callable[[Callable[[JobSpec], JobResult]], Callable[[JobSpec], JobResult]]:
     """Register a runner under a job ``kind`` name."""
 
-    def register(fn: Callable[[JobSpec], JobResult]):
+    def register(fn: Callable[[JobSpec], JobResult]) -> Callable[[JobSpec], JobResult]:
         RUNNERS[kind] = fn
         return fn
 
@@ -44,7 +46,7 @@ def get_runner(kind: str) -> Callable[[JobSpec], JobResult]:
         ) from None
 
 
-def _block_powers(spec: JobSpec):
+def _block_powers(spec: JobSpec) -> Dict[str, float]:
     """Resolve a job's power source to a per-block power dict.
 
     ``power="gcc_average"`` (default) uses the cached gcc-like EV6

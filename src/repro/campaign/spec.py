@@ -16,9 +16,12 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..errors import CampaignError, ConfigurationError
+
+if TYPE_CHECKING:
+    from ..rcmodel import ThermalGridModel
 from ..units import ZERO_CELSIUS_IN_KELVIN
 
 #: Bump when the meaning of a spec field changes, so stale cache
@@ -81,7 +84,7 @@ class ModelSpec:
     #: air knob (ignored by "oil" and menu packages)
     convection_resistance: float = 1.0
 
-    def build(self):
+    def build(self) -> "ThermalGridModel":
         """Construct the live thermal model this spec describes."""
         from ..convection.flow import FlowDirection
         from ..floorplan import athlon_floorplan, ev6_floorplan

@@ -10,7 +10,6 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, Optional
 
-import numpy as np
 
 from ..convection.flow import FlowDirection
 from ..floorplan import athlon_floorplan, ev6_floorplan

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..convection.flow import FlowSpec
 from ..floorplan import single_hot_block_floorplan

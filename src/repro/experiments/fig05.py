@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-import numpy as np
 
 from ..floorplan import athlon_reference_power
 from ..solver import steady_block_temperatures

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..analysis.time_constants import rise_time
 from ..convection.flow import FlowSpec

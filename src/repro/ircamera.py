@@ -179,7 +179,7 @@ def missed_peak_fraction(
     times = np.asarray(times, dtype=float)
     trace = np.asarray(trace, dtype=float)
     true_above = float(np.mean(trace >= threshold))
-    if true_above == 0.0:
+    if true_above <= 0.0:
         return 0.0
     seen_above = float(np.mean(np.asarray(frame_trace) >= threshold))
     return max(0.0, 1.0 - seen_above / true_above)

@@ -29,7 +29,7 @@ grid model's rim nodes use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -348,7 +348,9 @@ class ThermalBlockModel:
         """Ambient temperature, Kelvin."""
         return self.config.ambient
 
-    def node_power(self, block_power) -> np.ndarray:
+    def node_power(
+        self, block_power: Union[np.ndarray, Dict[str, float], Sequence[float]]
+    ) -> np.ndarray:
         """Per-block power (vector or dict) -> full node power vector."""
         if isinstance(block_power, dict):
             block_power = self.floorplan.power_vector(block_power)

@@ -8,7 +8,7 @@ docstring of :mod:`repro.rcmodel` and DESIGN.md Section 5.1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -312,7 +312,9 @@ class ThermalGridModel:
         """Ambient temperature of the configuration, Kelvin."""
         return self.config.ambient
 
-    def node_power(self, block_power) -> np.ndarray:
+    def node_power(
+        self, block_power: Union[np.ndarray, Dict[str, float], Sequence[float]]
+    ) -> np.ndarray:
         """Expand per-block power (W) into the full node power vector.
 
         Accepts either a vector in floorplan order or a name->Watts

@@ -17,13 +17,16 @@ definite -- properties the tests assert and the solvers rely on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import sparse
 
 from ..errors import ModelBuildError
 from ..units import require_non_negative
+
+#: Anything the vectorized builder methods broadcast over.
+ArrayLike = Union[float, Sequence[float], np.ndarray]
 
 
 class ThermalNetwork:
@@ -144,7 +147,7 @@ class NetworkBuilder:
         require_non_negative("capacitance", capacitance)
         self._capacitance[node] += float(capacitance)
 
-    def add_capacitances(self, nodes: np.ndarray, capacitances) -> None:
+    def add_capacitances(self, nodes: np.ndarray, capacitances: ArrayLike) -> None:
         """Vectorized :meth:`add_capacitance`."""
         capacitances = np.broadcast_to(
             np.asarray(capacitances, dtype=float), np.shape(nodes)
@@ -157,13 +160,18 @@ class NetworkBuilder:
         if a == b:
             raise ModelBuildError("cannot connect a node to itself")
         require_non_negative("conductance", conductance)
-        if conductance == 0.0:
+        if conductance == 0.0:  # repro-ok: float-equality; exact zero = omitted edge
             return
         self._rows.append(int(a))
         self._cols.append(int(b))
         self._vals.append(float(conductance))
 
-    def connect_many(self, a_nodes, b_nodes, conductances) -> None:
+    def connect_many(
+        self,
+        a_nodes: Union[Sequence[int], np.ndarray],
+        b_nodes: Union[Sequence[int], np.ndarray],
+        conductances: ArrayLike,
+    ) -> None:
         """Vectorized :meth:`connect` over parallel index arrays."""
         a_nodes = np.asarray(a_nodes).ravel()
         b_nodes = np.asarray(b_nodes).ravel()
@@ -176,12 +184,16 @@ class NetworkBuilder:
     def to_ambient(self, node: int, conductance: float) -> None:
         """Add a conductance from ``node`` to the ambient."""
         require_non_negative("conductance", conductance)
-        if conductance == 0.0:
+        if conductance == 0.0:  # repro-ok: float-equality; exact zero = no ambient path
             return
         self._amb_nodes.append(int(node))
         self._amb_vals.append(float(conductance))
 
-    def to_ambient_many(self, nodes, conductances) -> None:
+    def to_ambient_many(
+        self,
+        nodes: Union[Sequence[int], np.ndarray],
+        conductances: ArrayLike,
+    ) -> None:
         """Vectorized :meth:`to_ambient`."""
         nodes = np.asarray(nodes).ravel()
         conductances = np.broadcast_to(

@@ -21,7 +21,7 @@ which sum to the full annulus area.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ModelBuildError
 
@@ -88,7 +88,11 @@ class RimRing:
         return self.nodes[side]
 
 
-def ring_boundaries(die_w: float, die_h: float, footprints) -> list:
+def ring_boundaries(
+    die_w: float,
+    die_h: float,
+    footprints: Sequence[Tuple[float, float]],
+) -> List["RingGeometry"]:
     """Given increasing layer footprints, produce RingGeometry list.
 
     ``footprints`` is a sequence of (width, height) pairs, each at least

@@ -92,7 +92,7 @@ def write_spice_netlist(
     # Heat injections.
     if node_power is not None:
         for i, p in enumerate(node_power):
-            if p != 0.0:
+            if p != 0.0:  # repro-ok: float-equality; exact zero = unpowered node
                 counts["I"] += 1
                 stream.write(f"I{counts['I']} 0 N{i + 1} DC {p:.6e}\n")
 

@@ -21,13 +21,23 @@ Both accept any model exposing the common interface
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import SolverError
 from .steady import steady_state
 from .transient import TransientResult, TrapezoidalStepper
+
+if TYPE_CHECKING:
+    from ..rcmodel.blockmodel import ThermalBlockModel
+    from ..rcmodel.grid import ThermalGridModel
+
+#: Either thermal model flavor (they share the solve-facing interface).
+ThermalModel = Union["ThermalBlockModel", "ThermalGridModel"]
+
+#: Per-block power: a vector in floorplan order or a name -> Watts map.
+BlockPower = Union[np.ndarray, Dict[str, float], Sequence[float]]
 
 LeakageFunction = Callable[[np.ndarray], np.ndarray]
 
@@ -49,8 +59,8 @@ class CoupledSteadyResult:
 
 
 def steady_state_with_leakage(
-    model,
-    dynamic_power,
+    model: ThermalModel,
+    dynamic_power: BlockPower,
     leakage: LeakageFunction,
     tolerance: float = 1e-3,
     max_iterations: int = 100,
@@ -110,7 +120,7 @@ def steady_state_with_leakage(
 
 
 def transient_with_leakage(
-    model,
+    model: ThermalModel,
     dynamic_power_at: Callable[[float], np.ndarray],
     leakage: LeakageFunction,
     t_end: float,

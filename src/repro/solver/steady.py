@@ -17,7 +17,8 @@ import hashlib
 from typing import Dict, Union
 
 import numpy as np
-from scipy.sparse.linalg import splu
+from scipy import sparse
+from scipy.sparse.linalg import SuperLU, splu
 
 from ..errors import SolverError
 from ..rcmodel.grid import ThermalGridModel
@@ -26,7 +27,7 @@ from ..rcmodel.network import ThermalNetwork
 _FACTOR_CACHE_ATTR = "_cached_lu_factor"
 
 
-def system_fingerprint(matrix) -> str:
+def system_fingerprint(matrix: sparse.spmatrix) -> str:
     """A fast content hash of a CSC/CSR sparse matrix.
 
     Hashes the value/index/pointer arrays and the shape; two matrices
@@ -42,7 +43,7 @@ def system_fingerprint(matrix) -> str:
     return digest.hexdigest()
 
 
-def _factorize(network: ThermalNetwork):
+def _factorize(network: ThermalNetwork) -> SuperLU:
     matrix = network.system_matrix
     fingerprint = system_fingerprint(matrix)
     cached = getattr(network, _FACTOR_CACHE_ATTR, None)

@@ -18,7 +18,7 @@ Two steppers are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Union
+from typing import Any, Callable, List, Optional, Union
 
 import numpy as np
 from scipy import sparse
@@ -191,7 +191,7 @@ def transient_step_response(
     node_power: np.ndarray,
     t_end: float,
     dt: float,
-    **kwargs,
+    **kwargs: Any,
 ) -> TransientResult:
     """Step response from ambient: constant power applied at t = 0."""
     return transient_simulate(network, node_power, t_end, dt, x0=None, **kwargs)

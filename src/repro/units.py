@@ -15,6 +15,52 @@ import numpy as np
 
 ArrayLike = Union[float, np.ndarray]
 
+#: Machine-readable dimension table consumed by the static analyzer
+#: (:mod:`repro.analysis.static`).  Maps the *symbols this module
+#: exports* — constants and constructor functions — to the dimension of
+#: the value they denote (for constants) or return (for functions).
+#: Dimension strings use SI unit syntax: products with ``*``, quotients
+#: with ``/``, powers with ``^``; ``1`` denotes a dimensionless value.
+#: The analyzer parses these into base-unit exponent vectors, so derived
+#: units (W, J, Pa, ...) and base-unit spellings of the same physical
+#: dimension compare equal.
+DIMENSIONS = {
+    # constants
+    "ZERO_CELSIUS_IN_KELVIN": "K",
+    "DEFAULT_AMBIENT_KELVIN": "K",
+    # constructors: the dimension of the *return value*
+    "celsius_to_kelvin": "K",
+    "kelvin_to_celsius": "K",
+    "mm": "m",
+    "um": "m",
+}
+
+#: Dimensions of well-known attribute names used across the package
+#: (material properties, network quantities).  The analyzer uses these
+#: to infer the dimension of ``obj.<attr>`` expressions.
+ATTRIBUTE_DIMENSIONS = {
+    # repro.materials.Material / Fluid properties
+    "conductivity": "W/(m*K)",
+    "density": "kg/m^3",
+    "specific_heat": "J/(kg*K)",
+    "volumetric_heat": "J/(m^3*K)",
+    "kinematic_viscosity": "m^2/s",
+    "thermal_diffusivity": "m^2/s",
+    "prandtl": "1",
+    # thermal RC network quantities
+    "capacitance": "J/K",
+    "conductance": "W/K",
+    "ambient_conductance": "W/K",
+    # package / convection quantities
+    "convection_resistance": "W^-1*K",
+    "heat_transfer_coefficient": "W/(m^2*K)",
+    "ambient": "K",
+    "velocity": "m/s",
+    "die_width": "m",
+    "die_height": "m",
+    "area": "m^2",
+}
+
 #: Offset between the Kelvin and Celsius scales.
 ZERO_CELSIUS_IN_KELVIN = 273.15
 

@@ -1,0 +1,3 @@
+# Deliberately buggy / clean snippets exercising the static analyzer.
+# This directory is excluded from `repro analyze` discovery
+# (runner.EXCLUDED_DIRS) precisely because the positives are on purpose.

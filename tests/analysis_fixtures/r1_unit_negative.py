@@ -1,0 +1,22 @@
+"""R1 negatives: dimensionally consistent physics code."""
+
+from repro.units import ZERO_CELSIUS_IN_KELVIN, mm
+
+
+def consistent_addition() -> float:
+    # length + length, temperature offset applied to a bare number: clean
+    total = mm(3.0) + mm(2.0)
+    ambient = 45.0 + ZERO_CELSIUS_IN_KELVIN
+    return total * ambient
+
+
+def consistent_physics(material) -> float:
+    # conductivity ratio is dimensionless; products are propagated
+    ratio = material.conductivity / material.conductivity
+    heat = material.density * material.specific_heat
+    return ratio * heat
+
+
+def unknown_operands(a, b) -> float:
+    # nothing inferable: never flagged
+    return a + b

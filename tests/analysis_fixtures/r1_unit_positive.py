@@ -1,0 +1,23 @@
+"""R1 positives: dimension mismatches and a magic material constant."""
+
+from repro.units import ZERO_CELSIUS_IN_KELVIN, mm
+
+
+def mixed_addition() -> float:
+    # length + temperature: flagged
+    return mm(3.0) + ZERO_CELSIUS_IN_KELVIN
+
+
+def mixed_comparison(material, net):
+    # W/(m*K) compared against kg/m^3: flagged
+    if material.conductivity > material.density:
+        return True
+    # J/K + J/(kg*K): flagged
+    return net.capacitance + material.specific_heat
+
+
+def magic_constant() -> float:
+    # silicon specific heat re-typed instead of repro.materials.SILICON:
+    # flagged as a warning
+    silicon_cp = 751.1
+    return silicon_cp

@@ -1,0 +1,24 @@
+"""R2 negatives: mutations correctly followed by invalidate()."""
+
+
+def scale_ambient(net, factor):
+    net.ambient_conductance *= factor
+    net.invalidate()
+    return net
+
+
+def mutate_two_then_invalidate(model, factor):
+    model.network.ambient_conductance *= factor
+    model.network.capacitance[0] = 1.0
+    model.network.invalidate()
+
+
+class OwnsItsState:
+    def rescale(self, factor):
+        # self-writes are exempt: the owner manages its own caches
+        self.ambient_conductance = self.ambient_conductance * factor
+        self._system = None
+
+
+def reads_are_fine(net):
+    return net.ambient_conductance.sum() + net.capacitance.sum()

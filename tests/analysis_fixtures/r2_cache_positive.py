@@ -1,0 +1,23 @@
+"""R2 positives: thermal-network mutation without invalidate()."""
+
+
+def scale_ambient(net, factor):
+    # the PR-1 bug class: in-place mutation, stale LU factor served next
+    net.ambient_conductance *= factor
+    return net
+
+
+def poke_one_node(net, index, value):
+    # subscript write to monitored state: flagged
+    net.ambient_conductance[index] = value
+
+
+def zero_out(model):
+    # in-place ndarray mutator through an attribute chain: flagged
+    model.network.capacitance.fill(0.0)
+
+
+def invalidate_then_mutate(net, factor):
+    # invalidate() BEFORE the write does not cover it: flagged
+    net.invalidate()
+    net.ambient_conductance *= factor

@@ -1,0 +1,19 @@
+"""The PR-1 latent defect, re-introduced verbatim in shape.
+
+Before the steady solver keyed its LU cache on a system-matrix
+fingerprint, this sweep served the *first* factorization for every
+factor in the loop: the in-place ``ambient_conductance`` mutation never
+told the network its cached system matrix was stale.  R2
+(cache-invalidation) must flag the mutation — this fixture is the
+regression seed the CI gate exercises.
+"""
+
+from repro.solver import steady_state
+
+
+def sweep_ambient_scaling(net, power, factors):
+    results = []
+    for factor in factors:
+        net.ambient_conductance *= factor
+        results.append(steady_state(net, power))
+    return results

@@ -1,0 +1,17 @@
+"""R3 negatives: deterministic fingerprint code."""
+
+import hashlib
+import json
+
+
+def content_fingerprint(payload, tags):
+    # sorted set iteration and canonical JSON: clean
+    for tag in sorted(set(tags)):
+        payload.append(tag)
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def ordinary_loop(tags):
+    # set iteration outside fingerprint code is not the cache's problem
+    return [tag.upper() for tag in set(tags)]

@@ -1,0 +1,25 @@
+"""R3 positives: nondeterminism reaching fingerprint code."""
+
+import hashlib
+import json
+import time
+
+
+def content_fingerprint(payload, tags):
+    # wall-clock time in a content hash: flagged
+    stamp = time.time()
+    # set iteration order is hash-randomized for strings: flagged
+    for tag in set(tags):
+        payload.append((tag, stamp))
+    # unsorted json.dumps inside fingerprint code: flagged (error)
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def spec_identity(spec):
+    # id() is a memory address, different every run: flagged
+    return hashlib.sha256(str(id(spec)).encode()).hexdigest()
+
+
+def write_record(record):
+    # unsorted json.dumps outside fingerprint code: flagged (warning)
+    return json.dumps(record)

@@ -1,0 +1,15 @@
+"""R4 negatives: the safe pattern the campaign executor uses."""
+
+
+def module_level_worker(job):
+    """Pickles by qualified name; safe to submit."""
+    return job * 2
+
+
+def fan_out(pool, jobs):
+    return [pool.submit(module_level_worker, job) for job in jobs]
+
+
+def not_a_pool(registry, jobs):
+    # submit()-shaped calls on non-pool receivers are not flagged
+    return [registry.submit(lambda: job) for job in jobs]

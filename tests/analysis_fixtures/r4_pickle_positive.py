@@ -1,0 +1,18 @@
+"""R4 positives: unpicklable callables / shared state at the pool."""
+
+shared_registry = {"gcc": "trace"}
+
+
+def fan_out(pool, jobs):
+    # lambdas cannot cross the process boundary: flagged
+    futures = [pool.submit(lambda job=job: job * 2) for job in jobs]
+
+    def local_worker(job):
+        return job * 2
+
+    # closures cannot be pickled either: flagged
+    futures.append(pool.submit(local_worker, jobs[0]))
+
+    # a module-level dict pickles as a *copy*; mutation is lost: flagged
+    futures.append(pool.submit(print, shared_registry))
+    return futures

@@ -1,0 +1,22 @@
+"""R5 negatives: tolerance checks, integer equality, declared sentinels."""
+
+import math
+
+
+def tolerance(a, b):
+    return math.isclose(a, b, rel_tol=1e-9)
+
+
+def integer_equality(count):
+    return count == 0
+
+
+def declared_sentinel(conductance):
+    if conductance == 0.0:  # repro-ok: float-equality; exact zero = omitted edge
+        return None
+    return 1.0 / conductance
+
+
+def inequalities(x):
+    # ordering comparisons are fine
+    return 0.0 < x <= 1.0

@@ -1,0 +1,14 @@
+"""R5 positives: exact float comparisons that should be tolerances."""
+
+
+def converged(temperature, target):
+    # computed temperatures never land exactly on a float literal
+    return temperature == 99.5
+
+
+def not_converged(residual):
+    return residual != 0.0
+
+
+def chained(a, b):
+    return 0.0 == a == b

@@ -162,9 +162,7 @@ class TestBlockModel:
             block_model.node_power(np.ones(3))
 
     def test_interface_compatible_with_dtm(self):
-        from repro.dtm import ClockGating, DTMController
         from repro.power import constant_power
-        from repro.sensors import SensorArray, place_at_block
         # DTMController needs mapping/silicon_cell access; the block
         # model exposes block_rise which the controller does not use --
         # assert the solver-level pieces work instead.

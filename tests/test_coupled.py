@@ -6,7 +6,6 @@ import pytest
 from repro.errors import SolverError
 from repro.experiments.common import celsius
 from repro.floorplan import ev6_floorplan, uniform_grid_floorplan
-from repro.microarch.energy import EnergyModel
 from repro.package import air_sink_package, oil_silicon_package
 from repro.rcmodel import ThermalBlockModel, ThermalGridModel
 from repro.solver import (

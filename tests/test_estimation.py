@@ -8,12 +8,7 @@ from repro.experiments.common import celsius
 from repro.floorplan import ev6_floorplan
 from repro.package import oil_silicon_package
 from repro.rcmodel import ThermalBlockModel, ThermalGridModel
-from repro.sensors import (
-    ModelBasedEstimator,
-    SensorArray,
-    ThermalSensor,
-    place_at_block,
-)
+from repro.sensors import ModelBasedEstimator, place_at_block
 from repro.solver import steady_state
 
 PLAN = ev6_floorplan()

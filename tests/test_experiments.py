@@ -5,10 +5,9 @@ paper's qualitative claim for that figure.  The full-resolution runs
 live in benchmarks/.
 """
 
-import numpy as np
 import pytest
 
-from repro.convection.flow import ALL_DIRECTIONS, FlowDirection
+from repro.convection.flow import FlowDirection
 from repro.experiments import (
     run_fig02,
     run_fig03,

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.package import (
-    air_sink_package,
-    format_hotspot_config,
-    hotspot_equivalent_keys,
-    oil_silicon_package,
-    parse_hotspot_config,
-)
+from repro.package import format_hotspot_config, hotspot_equivalent_keys, oil_silicon_package, parse_hotspot_config
 from repro.package.hotspot_config import HOTSPOT_DEFAULTS
 
 SAMPLE = """
@@ -63,7 +57,6 @@ def test_format_round_trip():
 
 
 def test_built_package_solves():
-    import numpy as np
     from repro.floorplan import ev6_floorplan
     from repro.rcmodel import ThermalGridModel
     from repro.solver import steady_state

@@ -18,16 +18,7 @@ from repro.microarch import (
     memory_bound_workload,
 )
 from repro.microarch.core import STRUCTURES, ActivityCounts
-from repro.microarch.workload import (
-    BRANCH,
-    FP_ADD,
-    FP_MUL,
-    LOAD,
-    N_CLASSES,
-    Phase,
-    STORE,
-    SyntheticWorkload,
-)
+from repro.microarch.workload import BRANCH, LOAD, N_CLASSES, Phase, STORE
 
 
 class TestWorkload:

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from scipy import sparse
 
 from repro.errors import ModelBuildError
 from repro.rcmodel import NetworkBuilder

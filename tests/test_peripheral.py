@@ -1,6 +1,5 @@
 """Tests for peripheral rim-ring geometry."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ModelBuildError

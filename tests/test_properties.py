@@ -16,7 +16,7 @@ from repro.convection.correlations import (
     thermal_boundary_layer_thickness,
 )
 from repro.floorplan import GridMapping, uniform_grid_floorplan
-from repro.floorplan.block import Block, Floorplan
+from repro.floorplan.block import Block
 from repro.materials import MINERAL_OIL
 from repro.package import oil_silicon_package
 from repro.rcmodel import NetworkBuilder, ThermalGridModel
@@ -165,7 +165,6 @@ def test_arbitrary_chain_network_is_spd(caps, conducts):
 
 # --- block model properties --------------------------------------------------
 
-from repro.package import air_sink_package
 from repro.rcmodel import ThermalBlockModel
 
 _BLOCK_MODEL = ThermalBlockModel(

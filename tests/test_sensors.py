@@ -184,8 +184,7 @@ class TestMultiMapPlacement:
     def test_cross_package_placement_scenario(self):
         # the Section 5.4 fix: place sensors against BOTH the oil and
         # air maps so neither condition's hot spot is missed
-        from repro.experiments import run_fig10, run_fig11
-        from repro.convection.flow import FlowDirection
+        from repro.experiments import run_fig10
         from repro.floorplan import GridMapping, ev6_floorplan
         from repro.sensors import evaluate_placement, multi_map_greedy_placement
         fig10 = run_fig10(nx=16, ny=16)

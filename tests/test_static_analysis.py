@@ -1,0 +1,375 @@
+"""Tests for the physics-aware static analyzer (repro.analysis.static).
+
+Each rule gets at least one positive and one negative fixture under
+``tests/analysis_fixtures/``; on top of that: dimension-algebra unit
+tests, pragma suppression, baseline round-trip/staleness, golden
+JSON + SARIF output, the CLI surface, the seeded PR-1 regression, and
+the self-check that ``src/`` is clean against the committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.static import (
+    Baseline,
+    SourceFile,
+    analyze_file,
+    analyze_paths,
+    format_json,
+    format_sarif,
+    format_text,
+    make_rules,
+    parse_dimension,
+    rule_names,
+)
+from repro.analysis.static.dimensions import DIMENSIONLESS, DimensionError
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+def analyze_fixture(name, rules=None):
+    source = SourceFile.from_path(str(FIXTURES / name))
+    return analyze_file(source, make_rules(rules))
+
+
+def rules_fired(findings):
+    return {finding.rule for finding in findings}
+
+
+# --- dimension algebra ------------------------------------------------------
+
+
+def test_derived_units_expand_to_base_units():
+    assert parse_dimension("W") == parse_dimension("kg*m^2/s^3")
+    assert parse_dimension("W/(m*K)") == parse_dimension("kg*m/(s^3*K)")
+    assert parse_dimension("J/(kg*K)") == parse_dimension("m^2/(s^2*K)")
+
+
+def test_dimension_arithmetic():
+    watts = parse_dimension("W")
+    kelvin = parse_dimension("K")
+    assert watts / watts == DIMENSIONLESS
+    assert (watts / kelvin) * kelvin == watts
+    assert parse_dimension("m") ** 2 == parse_dimension("m^2")
+    assert str(parse_dimension("W/K")) == "kg*m^2/(s^3*K)"
+
+
+def test_dimension_parse_errors():
+    with pytest.raises(DimensionError):
+        parse_dimension("furlongs")
+    with pytest.raises(DimensionError):
+        parse_dimension("W/(m*K")
+    with pytest.raises(DimensionError):
+        parse_dimension("m^x")
+
+
+def test_units_tables_parse():
+    from repro import units
+
+    for table in (units.DIMENSIONS, units.ATTRIBUTE_DIMENSIONS):
+        for name, text in table.items():
+            parse_dimension(text)  # must not raise
+
+
+# --- R1: unit consistency ---------------------------------------------------
+
+
+def test_r1_positive_fixture():
+    findings = analyze_fixture("r1_unit_positive.py", ["unit-consistency"])
+    assert len(findings) >= 4
+    messages = " | ".join(f.message for f in findings)
+    assert "dimension mismatch" in messages
+    assert "comparing incompatible dimensions" in messages
+    assert "magic number 751.1" in messages
+
+
+def test_r1_negative_fixture():
+    assert analyze_fixture("r1_unit_negative.py", ["unit-consistency"]) == []
+
+
+def test_r1_magic_constant_severity_is_warning():
+    findings = analyze_fixture("r1_unit_positive.py", ["unit-consistency"])
+    magic = [f for f in findings if "magic number" in f.message]
+    assert magic and all(f.severity == "warning" for f in magic)
+    assert all("repro.materials" in (f.hint or "") for f in magic)
+
+
+# --- R2: cache invalidation -------------------------------------------------
+
+
+def test_r2_positive_fixture():
+    findings = analyze_fixture("r2_cache_positive.py", ["cache-invalidation"])
+    assert len(findings) == 4
+    assert all(f.severity == "error" for f in findings)
+    assert any("net.ambient_conductance" in f.message for f in findings)
+    assert any("model.network.capacitance" in f.message for f in findings)
+
+
+def test_r2_negative_fixture():
+    assert analyze_fixture("r2_cache_negative.py", ["cache-invalidation"]) == []
+
+
+def test_r2_catches_seeded_pr1_regression():
+    """Re-introducing the PR-1 mutate-without-invalidate bug is caught."""
+    findings = analyze_fixture("r2_regression_pr1.py", ["cache-invalidation"])
+    assert len(findings) == 1
+    assert "ambient_conductance" in findings[0].message
+    assert "invalidate()" in findings[0].message
+
+
+# --- R3: hash determinism ---------------------------------------------------
+
+
+def test_r3_positive_fixture():
+    findings = analyze_fixture("r3_hash_positive.py", ["hash-determinism"])
+    messages = " | ".join(f.message for f in findings)
+    assert "time.time()" in messages
+    assert "iteration over a set" in messages
+    assert "id()" in messages
+    assert "sort_keys" in messages
+    # json.dumps inside fingerprint code is an error, outside a warning
+    dumps = [f for f in findings if "sort_keys" in f.message]
+    assert {f.severity for f in dumps} == {"error", "warning"}
+
+
+def test_r3_negative_fixture():
+    assert analyze_fixture("r3_hash_negative.py", ["hash-determinism"]) == []
+
+
+# --- R4: pickle safety ------------------------------------------------------
+
+
+def test_r4_positive_fixture():
+    findings = analyze_fixture("r4_pickle_positive.py", ["pickle-safety"])
+    messages = " | ".join(f.message for f in findings)
+    assert "lambda" in messages
+    assert "local_worker" in messages
+    assert "shared_registry" in messages
+
+
+def test_r4_negative_fixture():
+    assert analyze_fixture("r4_pickle_negative.py", ["pickle-safety"]) == []
+
+
+# --- R5: float equality -----------------------------------------------------
+
+
+def test_r5_positive_fixture():
+    findings = analyze_fixture("r5_float_positive.py", ["float-equality"])
+    assert len(findings) == 3
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_r5_negative_fixture():
+    assert analyze_fixture("r5_float_negative.py", ["float-equality"]) == []
+
+
+def test_pragma_suppresses_only_named_rule():
+    code = (
+        "def f(x, net):\n"
+        "    a = x == 1.5  # repro-ok: float-equality\n"
+        "    b = x == 2.5  # repro-ok: cache-invalidation\n"
+        "    c = x == 3.5  # repro-ok\n"
+        "    return a, b, c\n"
+    )
+    source = SourceFile("snippet.py", code)
+    findings = analyze_file(source, make_rules(["float-equality"]))
+    assert [f.line for f in findings] == [3]
+
+
+# --- runner / baseline ------------------------------------------------------
+
+
+def test_analyze_paths_over_fixture_files():
+    result = analyze_paths(
+        [str(FIXTURES / "r5_float_positive.py"),
+         str(FIXTURES / "r5_float_negative.py")]
+    )
+    assert result.files_analyzed == 2
+    assert rules_fired(result.findings) == {"float-equality"}
+    assert result.fails("error")
+    assert not result.fails("never")
+
+
+def test_fixture_directory_excluded_from_discovery():
+    result = analyze_paths([str(FIXTURES.parent)])
+    analyzed_names = {f.path for f in result.findings}
+    assert not any("analysis_fixtures" in path for path in analyzed_names)
+
+
+def test_baseline_round_trip(tmp_path):
+    target = str(FIXTURES / "r5_float_positive.py")
+    baseline_path = tmp_path / "baseline.json"
+
+    first = analyze_paths([target])
+    assert first.findings
+    Baseline.from_findings(first.all_pairs).write(str(baseline_path))
+
+    reloaded = Baseline.load(str(baseline_path))
+    assert len(reloaded) == len(first.all_pairs)
+
+    second = analyze_paths([target], baseline=reloaded)
+    assert second.findings == []
+    assert len(second.baselined) == len(first.all_pairs)
+    assert second.stale_fingerprints == []
+    assert not second.fails("error")
+
+
+def test_baseline_staleness_detected(tmp_path):
+    target = str(FIXTURES / "r5_float_positive.py")
+    first = analyze_paths([target])
+    baseline = Baseline.from_findings(first.all_pairs)
+    entry_path = first.all_pairs[0][1].path  # same file, fixed finding
+    baseline.entries["deadbeefdeadbeefdead"] = {
+        "rule": "float-equality", "path": entry_path,
+        "line": 1, "message": "fixed long ago", "severity": "error",
+    }
+    second = analyze_paths([target], baseline=baseline)
+    assert second.stale_fingerprints == ["deadbeefdeadbeefdead"]
+
+
+def test_stale_reporting_scoped_to_analyzed_paths():
+    """An src-only run must not call tests/-only baseline entries stale."""
+    target = str(FIXTURES / "r5_float_positive.py")
+    first = analyze_paths([target])
+    baseline = Baseline.from_findings(first.all_pairs)
+    baseline.entries["feedfacefeedfacefeed"] = {
+        "rule": "float-equality", "path": "somewhere/else/entirely.py",
+        "line": 1, "message": "not analyzed this run", "severity": "error",
+    }
+    second = analyze_paths([target], baseline=baseline)
+    assert second.stale_fingerprints == []
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    code = "def f(x):\n    return x == 1.5\n"
+    source = SourceFile("drift.py", code)
+    findings = analyze_file(source, make_rules(["float-equality"]))
+    from repro.analysis.static import finding_fingerprint
+
+    fp_before = finding_fingerprint(findings[0], "return x == 1.5", 0)
+
+    shifted = "\n\n# comment\ndef f(x):\n    return x == 1.5\n"
+    source2 = SourceFile("drift.py", shifted)
+    findings2 = analyze_file(source2, make_rules(["float-equality"]))
+    fp_after = finding_fingerprint(findings2[0], "return x == 1.5", 0)
+    assert fp_before == fp_after
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "findings": {}}, sort_keys=True))
+    with pytest.raises(ValueError):
+        Baseline.load(str(path))
+
+
+# --- output formats (golden) ------------------------------------------------
+
+
+def _golden_findings():
+    source = SourceFile.from_path(str(FIXTURES / "r5_float_positive.py"))
+    findings = analyze_file(source, make_rules(["float-equality"]))
+    # normalize the path so the golden file is machine-independent
+    return [
+        type(f)(rule=f.rule, severity=f.severity,
+                path="tests/analysis_fixtures/r5_float_positive.py",
+                line=f.line, col=f.col, message=f.message, hint=f.hint)
+        for f in findings
+    ]
+
+
+def test_golden_json_output():
+    text = format_json(_golden_findings())
+    golden = (FIXTURES / "golden_r5.json").read_text()
+    assert text == golden
+
+
+def test_golden_sarif_output():
+    text = format_sarif(_golden_findings(), make_rules(["float-equality"]))
+    golden = (FIXTURES / "golden_r5.sarif").read_text()
+    assert text == golden
+    payload = json.loads(text)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["rules"][0]["id"] == "float-equality"
+    assert len(run["results"]) == 3
+
+
+def test_text_output_mentions_hint_and_summary():
+    text = format_text(_golden_findings())
+    assert "3 error(s)" in text
+    assert "hint:" in text
+    assert "float-equality" in text
+
+
+# --- CLI --------------------------------------------------------------------
+
+
+def test_cli_analyze_fails_on_findings(capsys):
+    code = cli_main(
+        ["analyze", str(FIXTURES / "r5_float_positive.py"),
+         "--baseline", str(FIXTURES / "no_such_baseline.json")]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "float-equality" in captured.out
+
+
+def test_cli_analyze_write_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "r5_float_positive.py")
+    assert cli_main(
+        ["analyze", target, "--baseline", str(baseline), "--write-baseline"]
+    ) == 0
+    assert baseline.exists()
+    assert cli_main(["analyze", target, "--baseline", str(baseline)]) == 0
+    captured = capsys.readouterr()
+    assert "baselined finding(s) suppressed" in captured.out
+
+
+def test_cli_analyze_json_and_rule_subset(capsys):
+    code = cli_main(
+        ["analyze", str(FIXTURES / "r2_cache_positive.py"),
+         "--rules", "cache-invalidation", "--format", "json",
+         "--baseline", str(FIXTURES / "no_such_baseline.json"),
+         "--fail-on", "never"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["total"] == 4
+    assert {f["rule"] for f in payload["findings"]} == {"cache-invalidation"}
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in rule_names():
+        assert name in out
+
+
+# --- the repository itself --------------------------------------------------
+
+
+def test_src_tree_is_clean_against_committed_baseline():
+    """Acceptance gate: `repro analyze src/` reports nothing new."""
+    baseline = Baseline.load(str(REPO_ROOT / "analysis-baseline.json"))
+    result = analyze_paths([str(REPO_ROOT / "src")], baseline=baseline)
+    assert result.findings == [], (
+        "new analyzer findings in src/: "
+        + "; ".join(f"{f.location()} {f.rule}: {f.message}"
+                    for f in result.findings)
+    )
+
+
+def test_all_five_rules_registered():
+    assert rule_names() == [
+        "cache-invalidation",
+        "float-equality",
+        "hash-determinism",
+        "pickle-safety",
+        "unit-consistency",
+    ]

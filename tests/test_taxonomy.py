@@ -21,7 +21,9 @@ PLAN = ev6_floorplan()
 W, H = PLAN.die_width, PLAN.die_height
 
 
-def tmax_rise(config, powers={"Dcache": 10.0}, nx=12, ny=12):
+def tmax_rise(config, powers=None, nx=12, ny=12):
+    if powers is None:
+        powers = {"Dcache": 10.0}
     model = ThermalGridModel(PLAN, config, nx=nx, ny=ny)
     rise = steady_state(model.network, model.node_power(powers))
     return float(model.block_rise(rise).max())
