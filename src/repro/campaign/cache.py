@@ -27,6 +27,8 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from .. import obs
+
 #: Environment knobs: ``REPRO_CACHE_DIR`` relocates the store,
 #: ``REPRO_DISK_CACHE=0`` disables it (solves always recompute).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -75,12 +77,21 @@ class JobResult:
 class ResultCache:
     """A content-addressed store of :class:`JobResult` and traces."""
 
+    #: Counter names tracked per instance and persisted per store.
+    COUNTER_NAMES = (
+        "hits", "misses", "stores", "evictions",
+        "trace_hits", "trace_misses", "trace_stores",
+    )
+
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = Path(root)
         self._results = self.root / "results"
         self._traces = self.root / "traces"
         self._results.mkdir(parents=True, exist_ok=True)
         self._traces.mkdir(parents=True, exist_ok=True)
+        #: Session-local op counts (this instance only); the lifetime
+        #: totals live in ``counters.json`` under the store root.
+        self.counters: Dict[str, int] = {name: 0 for name in self.COUNTER_NAMES}
 
     # -- atomic file helpers ------------------------------------------------
 
@@ -89,6 +100,39 @@ class ResultCache:
         tmp = path.with_suffix(path.suffix + f".{os.getpid()}.tmp")
         tmp.write_bytes(payload)
         os.replace(tmp, path)
+
+    # -- hit/miss accounting ------------------------------------------------
+
+    def _counters_path(self) -> Path:
+        return self.root / "counters.json"
+
+    def persisted_counters(self) -> Dict[str, int]:
+        """Lifetime op counts of this store (best effort, cross-process)."""
+        try:
+            data = json.loads(self._counters_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        return {str(k): int(v) for k, v in data.items()
+                if isinstance(v, (int, float))}
+
+    def _bump(self, name: str, n: int = 1) -> None:
+        """Count one cache event: session, global metrics, and on disk.
+
+        The on-disk update is read-modify-write without a lock —
+        concurrent workers may lose an increment, which is acceptable
+        for observability counters and keeps the store lock-free.
+        """
+        self.counters[name] = self.counters.get(name, 0) + n
+        obs.metrics().counter(f"campaign.cache.{name}").inc(n)
+        try:
+            totals = self.persisted_counters()
+            totals[name] = totals.get(name, 0) + n
+            self._atomic_write(
+                self._counters_path(),
+                json.dumps(totals, sort_keys=True).encode("utf-8"),
+            )
+        except OSError:  # read-only store: session counters still work
+            pass
 
     # -- job results --------------------------------------------------------
 
@@ -119,6 +163,7 @@ class ResultCache:
             self._json_path(key),
             json.dumps(sidecar, sort_keys=True).encode("utf-8"),
         )
+        self._bump("stores")
 
     def get(self, key: str) -> Optional[JobResult]:
         """Load one result, or ``None`` on a miss or corrupt entry."""
@@ -126,6 +171,7 @@ class ResultCache:
         try:
             sidecar = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
+            self._bump("misses")
             return None
         arrays: Dict[str, np.ndarray] = {}
         names = sidecar.get("array_names", [])
@@ -134,7 +180,9 @@ class ResultCache:
                 with np.load(self._npz_path(key), allow_pickle=False) as data:
                     arrays = {name: data[name] for name in names}
             except (OSError, ValueError, KeyError):
+                self._bump("misses")
                 return None  # sidecar without its arrays: treat as miss
+        self._bump("hits")
         return JobResult(
             scalars=dict(sidecar.get("scalars", {})),
             arrays=arrays,
@@ -160,6 +208,7 @@ class ResultCache:
             block_names=np.array(trace.block_names),
         )
         self._atomic_write(self._trace_path(name), buffer.getvalue())
+        self._bump("trace_stores")
 
     def get_trace(self, name: str) -> Optional["PowerTrace"]:
         """Load a stored trace, or ``None`` on a miss/corrupt entry."""
@@ -169,14 +218,18 @@ class ResultCache:
         try:
             with np.load(path, allow_pickle=False) as data:
                 if str(data["key"]) != name:  # hash collision guard
+                    self._bump("trace_misses")
                     return None
-                return PowerTrace(
+                loaded = PowerTrace(
                     [str(n) for n in data["block_names"]],
                     np.asarray(data["samples"], dtype=float),
                     float(data["dt"]),
                 )
         except (OSError, ValueError, KeyError):
+            self._bump("trace_misses")
             return None
+        self._bump("trace_hits")
+        return loaded
 
     # -- maintenance --------------------------------------------------------
 
@@ -195,6 +248,8 @@ class ResultCache:
             "n_results": len(results),
             "n_traces": len(traces),
             "bytes": size,
+            "counters": dict(self.counters),
+            "lifetime_counters": self.persisted_counters(),
         }
 
     def clear(self) -> int:
@@ -205,6 +260,8 @@ class ResultCache:
                 if path.is_file():
                     path.unlink()
                     removed += 1
+        if removed:
+            self._bump("evictions", removed)
         return removed
 
 

@@ -16,33 +16,81 @@ Execution of one campaign proceeds in three steps:
    job cannot be interrupted in-process).
 3. **Record** — fresh results are stored back to the cache and every
    job appends a manifest record; the run closes with a summary
-   (hit rate, p50/p95 job latency).
+   (hit rate, p50/p95 job latency, aggregated metrics).
+
+Observability: progress is reported through the stdlib
+``repro.campaign`` logger (wire a handler with
+:func:`repro.obs.logging_setup`).  When tracing is enabled — or
+``capture_obs=True`` is passed — each worker runs its job under a
+span, snapshots the :mod:`repro.obs` metrics registry before and
+after, and ships the span tree plus the metrics delta back through
+:class:`JobOutcome`, so per-job solver behaviour (factorizations,
+steps, cache hits) survives the process-pool boundary and lands in
+the JSONL manifest.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import CampaignError
 from .cache import JobResult, ResultCache
 from .manifest import CampaignSummary, ManifestWriter, summarize
 from .runners import get_runner
 from .spec import CampaignSpec, JobSpec
 
+logger = logging.getLogger("repro.campaign")
 
-def execute_job(spec: JobSpec) -> Tuple[JobResult, float, int]:
+_ATTEMPTS = obs.metrics().counter("campaign.jobs.attempts")
+_RETRIES = obs.metrics().counter("campaign.jobs.retries")
+_TIMEOUTS = obs.metrics().counter("campaign.jobs.timeouts")
+_FAILURES = obs.metrics().counter("campaign.jobs.failures")
+_JOB_SECONDS = obs.metrics().histogram("campaign.job.wall_seconds")
+
+#: What a worker returns: result, wall seconds, worker pid, and the
+#: observability capture (``None`` unless capture was requested).
+WorkerReturn = Tuple[JobResult, float, int, Optional[Dict[str, Any]]]
+
+
+def execute_job(spec: JobSpec, capture: bool = False) -> WorkerReturn:
     """Run one job in the current process (the worker entry point).
 
-    Module-level so it pickles to pool workers; returns
-    ``(result, wall_seconds, worker_pid)``.
+    Module-level so it pickles to pool workers.  With ``capture`` the
+    job runs under a forced-on tracer span and the return carries an
+    observability record: the serialized span tree, a flat metrics
+    delta for manifests, and the structured delta snapshot for merging
+    into the parent registry.
     """
     start = time.perf_counter()
-    result = get_runner(spec.kind)(spec)
-    return result, time.perf_counter() - start, os.getpid()
+    if not capture:
+        result = get_runner(spec.kind)(spec)
+        return result, time.perf_counter() - start, os.getpid(), None
+
+    tracer = obs.tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    registry = obs.metrics()
+    before = registry.snapshot()
+    try:
+        with obs.Span("campaign.job", {"tag": spec.tag, "kind": spec.kind},
+                      tracer=tracer) as job_span:
+            result = get_runner(spec.kind)(spec)
+    finally:
+        tracer.enabled = was_enabled
+    delta = obs.snapshot_diff(registry.snapshot(), before)
+    capture_record: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "span": job_span.to_dict(),
+        "metrics": obs.flatten_snapshot(delta),
+        "snapshot": delta,
+    }
+    return result, time.perf_counter() - start, os.getpid(), capture_record
 
 
 @dataclass
@@ -56,11 +104,29 @@ class JobOutcome:
     wall_s: float = 0.0
     worker: str = ""
     retries: int = 0
+    #: Observability capture from the (possibly remote) worker:
+    #: ``{"pid", "span", "metrics", "snapshot"}`` or ``None``.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         """Whether a result is available (fresh or cached)."""
         return self.status in ("ok", "cached")
+
+    def obs_record(self) -> Optional[Dict[str, Any]]:
+        """The condensed observability record for the manifest.
+
+        Per-span-name count/total aggregates plus the flat metrics
+        delta — small enough for one JSONL line, rich enough to show
+        where a job's time went without loading a trace file.
+        """
+        if not self.obs:
+            return None
+        return {
+            "worker_pid": self.obs.get("pid"),
+            "spans": obs.span_summary([self.obs["span"]]),
+            "metrics": self.obs.get("metrics", {}),
+        }
 
     def record(self, campaign: str) -> Dict[str, Any]:
         """The manifest record for this outcome."""
@@ -75,6 +141,7 @@ class JobOutcome:
             "worker": self.worker,
             "retries": self.retries,
             "error": self.error,
+            "obs": self.obs_record(),
         }
 
 
@@ -112,10 +179,33 @@ class CampaignRun:
             )
         return outcome.result
 
+    def span_roots(self) -> List[Dict[str, Any]]:
+        """Span trees captured in *other* processes during this run.
+
+        Spans recorded in this process are already on the global
+        tracer; these are the worker-side trees to export alongside
+        them (each shows up as its own pid track in Chrome/Perfetto).
+        """
+        parent_pid = os.getpid()
+        roots: List[Dict[str, Any]] = []
+        for outcome in self.outcomes:
+            if outcome.obs and outcome.obs.get("pid") != parent_pid:
+                roots.append(outcome.obs["span"])
+        return roots
+
 
 def _backoff_sleep(backoff: float, attempt: int) -> None:
     if backoff > 0:
         time.sleep(backoff * (2 ** attempt))
+
+
+def _report(
+    outcome: JobOutcome, progress: Optional[Callable[[str], None]]
+) -> None:
+    line = _progress_line(outcome)
+    logger.info(line)
+    if progress is not None:
+        progress(line)
 
 
 def _run_serial(
@@ -123,31 +213,37 @@ def _run_serial(
     retries: int,
     backoff: float,
     progress: Optional[Callable[[str], None]],
+    capture: bool,
 ) -> Dict[str, JobOutcome]:
     outcomes: Dict[str, JobOutcome] = {}
     for spec in pending:
         attempt = 0
         while True:
+            _ATTEMPTS.inc()
             try:
-                result, wall, pid = execute_job(spec)
+                result, wall, pid, captured = execute_job(spec, capture)
+                _JOB_SECONDS.observe(wall)
                 outcomes[spec.tag] = JobOutcome(
                     spec=spec, status="ok", result=result, wall_s=wall,
-                    worker=str(pid), retries=attempt,
+                    worker=str(pid), retries=attempt, obs=captured,
                 )
                 break
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
                 if attempt < retries:
+                    logger.debug("job %s attempt %d failed (%s); retrying",
+                                 spec.tag, attempt + 1, exc)
+                    _RETRIES.inc()
                     _backoff_sleep(backoff, attempt)
                     attempt += 1
                     continue
+                _FAILURES.inc()
                 outcomes[spec.tag] = JobOutcome(
                     spec=spec, status="failed",
                     error=f"{type(exc).__name__}: {exc}",
                     worker=str(os.getpid()), retries=attempt,
                 )
                 break
-        if progress:
-            progress(_progress_line(outcomes[spec.tag]))
+        _report(outcomes[spec.tag], progress)
     return outcomes
 
 
@@ -158,6 +254,7 @@ def _run_parallel(
     retries: int,
     backoff: float,
     progress: Optional[Callable[[str], None]],
+    capture: bool,
 ) -> Dict[str, JobOutcome]:
     from concurrent.futures import ProcessPoolExecutor
 
@@ -165,20 +262,26 @@ def _run_parallel(
     pool = ProcessPoolExecutor(max_workers=jobs)
     abandoned = False
     try:
-        futures = [(pool.submit(execute_job, spec), spec) for spec in pending]
+        futures = [
+            (pool.submit(execute_job, spec, capture), spec)
+            for spec in pending
+        ]
+        _ATTEMPTS.inc(len(futures))
         for fut, spec in futures:
             attempt = 0
             while True:
                 try:
-                    result, wall, pid = fut.result(timeout=timeout)
+                    result, wall, pid, captured = fut.result(timeout=timeout)
+                    _JOB_SECONDS.observe(wall)
                     outcomes[spec.tag] = JobOutcome(
                         spec=spec, status="ok", result=result, wall_s=wall,
-                        worker=str(pid), retries=attempt,
+                        worker=str(pid), retries=attempt, obs=captured,
                     )
                     break
                 except FutureTimeoutError:
                     fut.cancel()
                     abandoned = True
+                    _TIMEOUTS.inc()
                     outcomes[spec.tag] = JobOutcome(
                         spec=spec, status="timeout",
                         error=f"exceeded {timeout:g} s budget",
@@ -187,18 +290,24 @@ def _run_parallel(
                     break
                 except Exception as exc:  # noqa: BLE001 - job isolation boundary
                     if attempt < retries:
+                        logger.debug(
+                            "job %s attempt %d failed (%s); retrying",
+                            spec.tag, attempt + 1, exc,
+                        )
+                        _RETRIES.inc()
                         _backoff_sleep(backoff, attempt)
                         attempt += 1
-                        fut = pool.submit(execute_job, spec)
+                        _ATTEMPTS.inc()
+                        fut = pool.submit(execute_job, spec, capture)
                         continue
+                    _FAILURES.inc()
                     outcomes[spec.tag] = JobOutcome(
                         spec=spec, status="failed",
                         error=f"{type(exc).__name__}: {exc}",
                         retries=attempt,
                     )
                     break
-            if progress:
-                progress(_progress_line(outcomes[spec.tag]))
+            _report(outcomes[spec.tag], progress)
     finally:
         # A timed-out worker cannot be interrupted; don't block the
         # campaign on it — abandon the pool and let it drain on exit.
@@ -213,6 +322,26 @@ def _progress_line(outcome: JobOutcome) -> str:
     return f"[{status:>7}] {outcome.spec.tag}: {detail}{retry_note}"
 
 
+def _aggregate_metrics(
+    run: CampaignRun, n_cached: int, n_fresh: int
+) -> Dict[str, float]:
+    """Fold per-job metric deltas plus engine counters for the summary."""
+    totals: Dict[str, float] = {}
+    for outcome in run.outcomes:
+        if outcome.obs:
+            for name, value in outcome.obs.get("metrics", {}).items():
+                totals[name] = totals.get(name, 0.0) + float(value)
+    totals["campaign.cache.hits"] = float(n_cached)
+    totals["campaign.cache.misses"] = float(n_fresh)
+    retries = sum(o.retries for o in run.outcomes)
+    if retries:
+        totals["campaign.jobs.retries"] = float(retries)
+    timeouts = sum(1 for o in run.outcomes if o.status == "timeout")
+    if timeouts:
+        totals["campaign.jobs.timeouts"] = float(timeouts)
+    return {name: round(value, 9) for name, value in sorted(totals.items())}
+
+
 def run_campaign(
     campaign: CampaignSpec,
     jobs: int = 1,
@@ -223,6 +352,7 @@ def run_campaign(
     backoff: float = 0.1,
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    capture_obs: Optional[bool] = None,
 ) -> CampaignRun:
     """Execute a campaign; see the module docstring for semantics.
 
@@ -246,60 +376,85 @@ def run_campaign(
         Base of the exponential retry backoff, seconds.
     force:
         Recompute even on cache hits (refreshes the stored entries).
+    progress:
+        Optional extra per-job callback; progress always goes to the
+        ``repro.campaign`` logger regardless.
+    capture_obs:
+        Capture per-job span trees and metric deltas across the pool.
+        ``None`` (default) follows the global tracer's enabled flag.
     """
+    capture = obs.tracing_enabled() if capture_obs is None else capture_obs
     start = time.perf_counter()
     run = CampaignRun(campaign=campaign, manifest_path=manifest_path)
+    logger.debug("campaign %s: %d jobs, %d worker(s), capture=%s",
+                 campaign.name, len(campaign.jobs), jobs, capture)
 
-    pending: List[JobSpec] = []
-    cached: Dict[str, JobOutcome] = {}
-    for spec in campaign.jobs:
-        if cache is not None and not force:
-            probe_start = time.perf_counter()
-            hit = cache.get(spec.content_hash)
-            if hit is not None:
-                cached[spec.tag] = JobOutcome(
-                    spec=spec, status="cached", result=hit,
-                    wall_s=time.perf_counter() - probe_start, worker="cache",
-                )
-                if progress:
-                    progress(_progress_line(cached[spec.tag]))
-                continue
-        pending.append(spec)
+    with obs.span("campaign.run", campaign=campaign.name,
+                  n_jobs=len(campaign.jobs), workers=jobs):
+        pending: List[JobSpec] = []
+        cached: Dict[str, JobOutcome] = {}
+        with obs.span("campaign.cache.probe", campaign=campaign.name) as probe:
+            for spec in campaign.jobs:
+                if cache is not None and not force:
+                    probe_start = time.perf_counter()
+                    hit = cache.get(spec.content_hash)
+                    if hit is not None:
+                        cached[spec.tag] = JobOutcome(
+                            spec=spec, status="cached", result=hit,
+                            wall_s=time.perf_counter() - probe_start,
+                            worker="cache",
+                        )
+                        _report(cached[spec.tag], progress)
+                        continue
+                pending.append(spec)
+            probe.annotate(hits=len(cached), misses=len(pending))
 
-    fresh: Dict[str, JobOutcome] = {}
-    if pending:
-        use_pool = jobs > 1 and len(pending) > 1
-        if use_pool:
-            try:
-                fresh = _run_parallel(
-                    pending, jobs, timeout, retries, backoff, progress
-                )
-                run.parallel = True
-            except Exception as exc:  # pool unavailable: degrade to serial
-                if progress:
-                    progress(
-                        f"[  NOTE ] process pool unavailable "
-                        f"({type(exc).__name__}: {exc}); running serially"
+        fresh: Dict[str, JobOutcome] = {}
+        if pending:
+            use_pool = jobs > 1 and len(pending) > 1
+            if use_pool:
+                try:
+                    fresh = _run_parallel(
+                        pending, jobs, timeout, retries, backoff, progress,
+                        capture,
                     )
-                use_pool = False
-        if not use_pool:
-            fresh = _run_serial(pending, retries, backoff, progress)
+                    run.parallel = True
+                except Exception as exc:  # pool unavailable: degrade to serial
+                    note = (f"process pool unavailable "
+                            f"({type(exc).__name__}: {exc}); running serially")
+                    logger.warning(note)
+                    if progress:
+                        progress(f"[  NOTE ] {note}")
+                    use_pool = False
+            if not use_pool:
+                fresh = _run_serial(pending, retries, backoff, progress, capture)
 
-    if cache is not None:
+        # Fold worker-side metric deltas into this process's registry so
+        # pool runs and serial runs leave identical global counts.
+        parent_pid = os.getpid()
         for outcome in fresh.values():
-            if outcome.status == "ok" and outcome.result is not None:
-                cache.put(outcome.spec.content_hash, outcome.result)
+            if (outcome.obs and outcome.obs.get("pid") != parent_pid
+                    and outcome.obs.get("snapshot")):
+                obs.metrics().merge(outcome.obs["snapshot"])
 
-    run.outcomes = [
-        cached.get(spec.tag) or fresh[spec.tag] for spec in campaign.jobs
-    ]
-    records = [outcome.record(campaign.name) for outcome in run.outcomes]
-    run.summary = summarize(
-        campaign.name, records, time.perf_counter() - start
-    )
-    if manifest_path:
-        writer = ManifestWriter(manifest_path)
-        for record in records:
-            writer.job(record)
-        writer.summary(run.summary)
+        if cache is not None:
+            with obs.span("campaign.cache.store", n=len(fresh)):
+                for outcome in fresh.values():
+                    if outcome.status == "ok" and outcome.result is not None:
+                        cache.put(outcome.spec.content_hash, outcome.result)
+
+        run.outcomes = [
+            cached.get(spec.tag) or fresh[spec.tag] for spec in campaign.jobs
+        ]
+        records = [outcome.record(campaign.name) for outcome in run.outcomes]
+        run.summary = summarize(
+            campaign.name, records, time.perf_counter() - start,
+            metrics=_aggregate_metrics(run, len(cached), len(pending)),
+        )
+        if manifest_path:
+            writer = ManifestWriter(manifest_path)
+            for record in records:
+                writer.job(record)
+            writer.summary(run.summary)
+            logger.debug("manifest appended: %s", manifest_path)
     return run

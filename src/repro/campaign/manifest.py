@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -32,6 +32,11 @@ class CampaignSummary:
     p50_wall_s: float
     p95_wall_s: float
     total_wall_s: float
+    #: Aggregated observability counters across the run: per-job metric
+    #: deltas summed over jobs, plus engine counts (``campaign.cache.hits``
+    #: / ``.misses``, retries, timeouts).  Empty when jobs ran without
+    #: capture; defaulted so pre-metrics manifests still round-trip.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def all_ok(self) -> bool:
@@ -40,7 +45,10 @@ class CampaignSummary:
 
 
 def summarize(
-    campaign: str, records: List[Dict[str, Any]], total_wall_s: float
+    campaign: str,
+    records: List[Dict[str, Any]],
+    total_wall_s: float,
+    metrics: Optional[Dict[str, float]] = None,
 ) -> CampaignSummary:
     """Fold per-job manifest records into a :class:`CampaignSummary`."""
     jobs = [r for r in records if r.get("type", "job") == "job"]
@@ -57,6 +65,7 @@ def summarize(
         p50_wall_s=float(np.percentile(walls, 50)) if walls else 0.0,
         p95_wall_s=float(np.percentile(walls, 95)) if walls else 0.0,
         total_wall_s=total_wall_s,
+        metrics=dict(metrics) if metrics else {},
     )
 
 

@@ -15,11 +15,18 @@ for this library so the models can be driven without writing Python:
     execute a registered experiment sweep through the campaign engine
     (parallel workers, content-addressed result cache, JSONL
     manifest); ``campaign list`` and ``campaign status`` inspect the
-    registry and the cache.
+    registry and the cache;
+* ``python -m repro trace run fig11 --trace fig11.json``
+    the same, with :mod:`repro.obs` span tracing enabled — writes a
+    Chrome trace-event file (load in Perfetto or ``chrome://tracing``)
+    and prints a summary tree; ``trace report <file>`` re-summarizes
+    or schema-checks an existing trace file.
 
 Package selection mirrors the paper: ``--package air`` (default) or
 ``--package oil``, with ``--rconv``, ``--velocity``, ``--direction``
-and ``--no-secondary`` adjusting the configuration.
+and ``--no-secondary`` adjusting the configuration.  Global ``-v`` /
+``-q`` flags adjust log verbosity (the campaign engine reports job
+progress through the ``repro`` logger).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import sys
 from typing import IO, List, Optional
 
 
+from . import obs
 from .convection.flow import FlowDirection
 from .errors import ReproError
 from .floorplan import load_flp
@@ -47,6 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Compact thermal modeling of AIR-SINK vs OIL-SILICON "
                     "cooling (Huang et al., ISPASS 2009 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more log output (repeat for debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less log output (repeat for errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser, needs_power: bool) -> None:
@@ -145,6 +157,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="KEY=VALUE",
                       help="campaign builder parameter, repeatable "
                            "(e.g. -P nx=16 -P instructions=100000)")
+    crun.add_argument("--trace", default=None, metavar="PATH",
+                      help="enable span tracing and write a Chrome "
+                           "trace-event file here")
 
     csub.add_parser("list", help="list registered campaigns")
 
@@ -185,6 +200,42 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="cache directory to inspect")
     cstatus.add_argument("--manifest", default=None,
                          help="summarize one JSONL manifest file")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run experiments under span tracing and inspect trace files",
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trun = tsub.add_parser(
+        "run", help="run one campaign with tracing on and export the spans"
+    )
+    trun.add_argument("name", help="campaign name (see 'campaign list')")
+    trun.add_argument("-o", "--trace", default=None, metavar="PATH",
+                      help="trace output path (default: <name>-trace.json)")
+    trun.add_argument("--format", choices=("chrome", "jsonl"),
+                      default="chrome", dest="trace_format",
+                      help="chrome = Perfetto-loadable trace-event JSON, "
+                           "jsonl = one span tree per line (default: chrome)")
+    trun.add_argument("-j", "--jobs", type=int, default=1,
+                      help="worker processes (1 = serial, default)")
+    trun.add_argument("--cache-dir", default=None,
+                      help="result cache directory")
+    trun.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache for this run")
+    trun.add_argument("--force", action="store_true",
+                      help="recompute even when results are cached")
+    trun.add_argument("-P", "--param", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="campaign builder parameter, repeatable")
+
+    treport = tsub.add_parser(
+        "report", help="summarize (or schema-check) a trace file"
+    )
+    treport.add_argument("file", help="Chrome trace-event JSON or span JSONL")
+    treport.add_argument("--check", action="store_true",
+                         help="validate against the Chrome trace-event "
+                              "schema and exit non-zero on problems")
     return parser
 
 
@@ -354,13 +405,19 @@ def _campaign_run(args) -> int:
         stamp = _time.strftime("%Y%m%d-%H%M%S")
         manifest = f"{cache_root}/manifests/{spec.name}-{stamp}.jsonl"
 
-    print(f"campaign {spec.name}: {len(spec)} jobs, "
-          f"{args.jobs} worker(s), cache "
-          f"{'off' if cache is None else cache_root}", file=sys.stderr)
+    import logging
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.enable_tracing()
+    logging.getLogger("repro.cli").info(
+        "campaign %s: %d jobs, %d worker(s), cache %s",
+        spec.name, len(spec), args.jobs,
+        "off" if cache is None else cache_root,
+    )
     run = run_campaign(
         spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
         timeout=args.timeout, retries=args.retries, force=args.force,
-        progress=lambda line: print(line, file=sys.stderr),
     )
     summary = run.summary
     print(f"{summary.n_ok}/{summary.n_jobs} jobs ok, "
@@ -371,6 +428,10 @@ def _campaign_run(args) -> int:
           f"total {summary.total_wall_s:.3f} s")
     if manifest:
         print(f"manifest: {manifest}")
+    if trace_path:
+        roots = list(obs.tracer().drain()) + run.span_roots()
+        n_events = obs.write_chrome_trace(roots, trace_path)
+        print(f"trace: {trace_path} ({n_events} events)")
     return 0 if run.ok else 2
 
 
@@ -390,6 +451,15 @@ def _campaign_status(args) -> int:
     print(f"cache: {stats['root']}")
     print(f"  results: {stats['n_results']}  traces: {stats['n_traces']}  "
           f"size: {stats['bytes'] / 1e6:.1f} MB")
+    lifetime = stats.get("lifetime_counters", {})
+    if lifetime:
+        hits = lifetime.get("hits", 0)
+        misses = lifetime.get("misses", 0)
+        probes = hits + misses
+        rate = f", hit rate {100 * hits / probes:.0f}%" if probes else ""
+        print(f"  lifetime: hits={hits} misses={misses} "
+              f"stores={lifetime.get('stores', 0)} "
+              f"evictions={lifetime.get('evictions', 0)}{rate}")
     if args.manifest:
         summary = manifest_summary(args.manifest)
         if summary is None:
@@ -470,6 +540,66 @@ def cmd_campaign(args) -> int:
     return handlers[args.campaign_command](args)
 
 
+def _trace_run(args) -> int:
+    import time as _time
+
+    from .campaign import (
+        ResultCache,
+        default_cache_dir,
+        disk_cache_enabled,
+        get_campaign,
+        run_campaign,
+    )
+
+    spec = get_campaign(args.name, **_parse_campaign_params(args.param))
+    cache = None
+    if not args.no_cache and disk_cache_enabled():
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    out = args.trace or f"{spec.name}-trace.json"
+
+    obs.enable_tracing()
+    t0 = _time.perf_counter()
+    run = run_campaign(
+        spec, jobs=args.jobs, cache=cache, force=args.force,
+        capture_obs=True,
+    )
+    wall = _time.perf_counter() - t0
+
+    roots = list(obs.tracer().drain()) + run.span_roots()
+    if args.trace_format == "chrome":
+        count = obs.write_chrome_trace(roots, out)
+        what = f"{count} trace events"
+    else:
+        count = obs.write_spans_jsonl(roots, out)
+        what = f"{count} span trees"
+    print(obs.summary_tree(roots, total_s=wall))
+    print(f"trace: {out} ({what}, {wall:.3f} s traced)", file=sys.stderr)
+    return 0 if run.ok else 2
+
+
+def _trace_report(args) -> int:
+    kind, data = obs.read_trace_file(args.file)
+    if args.check:
+        trace = data if kind == "chrome" else obs.chrome_trace(data)
+        errors = obs.validate_chrome_trace(trace)
+        for problem in errors:
+            print(f"error: {problem}", file=sys.stderr)
+        n = len(trace.get("traceEvents", []))
+        print(f"{args.file}: {kind} format, {n} events, "
+              f"{'INVALID' if errors else 'valid'}")
+        return 1 if errors else 0
+    if kind == "chrome":
+        print(obs.chrome_summary_table(data))
+    else:
+        print(obs.summary_tree(data))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    handlers = {"run": _trace_run, "report": _trace_report}
+    return handlers[args.trace_command](args)
+
+
 _COMMANDS = {
     "steady": cmd_steady,
     "transient": cmd_transient,
@@ -478,6 +608,7 @@ _COMMANDS = {
     "reproduce": cmd_reproduce,
     "campaign": cmd_campaign,
     "analyze": cmd_analyze,
+    "trace": cmd_trace,
 }
 
 
@@ -485,6 +616,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    obs.logging_setup(args.verbose - args.quiet)
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError, ValueError) as exc:

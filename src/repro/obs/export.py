@@ -1,0 +1,282 @@
+"""Span exporters: JSONL, Chrome trace-event JSON, and summary trees.
+
+Three consumers, three formats:
+
+* **JSONL** — one span *tree* per line (the :meth:`Span.to_dict`
+  nesting preserved).  Appendable, greppable, and the lossless format:
+  ``repro trace report`` rebuilds full summary trees from it.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` object
+  understood by ``chrome://tracing`` and Perfetto.  Every span becomes
+  one complete (``"ph": "X"``) event; worker processes appear as
+  separate ``pid`` tracks, timestamps are wall-clock microseconds so
+  tracks from one machine line up.
+* **summary tree** — a plain-text aggregation by span path (count,
+  total seconds, percent of traced wall time) for terminals and CI
+  logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from .tracing import Span
+
+SpanDict = Dict[str, Any]
+
+
+def _as_dict(span: Union[Span, SpanDict]) -> SpanDict:
+    return span.to_dict() if isinstance(span, Span) else span
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def _events_for(span: SpanDict, events: List[Dict[str, Any]]) -> None:
+    args = {str(k): v for k, v in span.get("attrs", {}).items()}
+    if span.get("status", "ok") != "ok":
+        args["status"] = span["status"]
+    events.append({
+        "name": str(span.get("name", "?")),
+        "cat": _category(str(span.get("name", "?"))),
+        "ph": "X",
+        "ts": float(span.get("t_wall", 0.0)) * 1e6,
+        "dur": float(span.get("duration_s", 0.0)) * 1e6,
+        "pid": int(span.get("pid", 0)),
+        "tid": int(span.get("tid", 0)),
+        "args": args,
+    })
+    for child in span.get("children", []):
+        _events_for(child, events)
+
+
+def chrome_trace(roots: Iterable[Union[Span, SpanDict]]) -> Dict[str, Any]:
+    """The Chrome trace-event object for a set of span trees."""
+    events: List[Dict[str, Any]] = []
+    for root in roots:
+        _events_for(_as_dict(root), events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+
+
+def write_chrome_trace(
+    roots: Iterable[Union[Span, SpanDict]], path: str
+) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count."""
+    trace = chrome_trace(roots)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Schema-check a parsed Chrome trace object; returns problems.
+
+    Checks the subset of the trace-event format the viewers actually
+    require: a ``traceEvents`` list of objects, each with a string
+    ``name``/``ph``, numeric ``ts`` (and ``dur`` for complete events),
+    and integer ``pid``/``tid``.  An empty list means the file is
+    loadable.
+    """
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            errors.append(f"{where}: missing string 'ph'")
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            errors.append(f"{where}: complete event missing numeric 'dur'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if len(errors) > 20:
+            errors.append("... (further problems suppressed)")
+            break
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# JSONL span logs
+# ---------------------------------------------------------------------------
+
+
+def write_spans_jsonl(
+    roots: Iterable[Union[Span, SpanDict]], path: str
+) -> int:
+    """Append one JSON span tree per line; returns the root count."""
+    count = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for root in roots:
+            handle.write(json.dumps(_as_dict(root), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_trace_file(path: str) -> Tuple[str, Any]:
+    """Load a trace file, sniffing its format.
+
+    Returns ``("chrome", <trace object>)`` for Chrome trace-event JSON
+    or ``("jsonl", [<span dict>, ...])`` for JSONL span logs.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except ValueError:
+            data = None
+        if isinstance(data, dict) and "traceEvents" in data:
+            return "chrome", data
+    roots: List[SpanDict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "name" in record:
+            roots.append(record)
+    return "jsonl", roots
+
+
+# ---------------------------------------------------------------------------
+# Text summary trees
+# ---------------------------------------------------------------------------
+
+
+class _Agg:
+    __slots__ = ("count", "total_s", "children")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.children: Dict[str, "_Agg"] = {}
+
+
+def _aggregate(span: SpanDict, node: Dict[str, "_Agg"]) -> None:
+    name = str(span.get("name", "?"))
+    agg = node.setdefault(name, _Agg())
+    agg.count += 1
+    agg.total_s += float(span.get("duration_s", 0.0))
+    for child in span.get("children", []):
+        _aggregate(child, agg.children)
+
+
+def span_summary(
+    roots: Iterable[Union[Span, SpanDict]]
+) -> Dict[str, Dict[str, float]]:
+    """Flat per-name aggregate over whole trees: count and total time.
+
+    This is the condensed form embedded in campaign manifests —
+    ``{"solver.steady.solve": {"count": 4, "total_s": 1.93}, ...}``.
+    """
+
+    def walk(span: SpanDict, out: Dict[str, Dict[str, float]]) -> None:
+        name = str(span.get("name", "?"))
+        entry = out.setdefault(name, {"count": 0.0, "total_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += float(span.get("duration_s", 0.0))
+        for child in span.get("children", []):
+            walk(child, out)
+
+    out: Dict[str, Dict[str, float]] = {}
+    for root in roots:
+        walk(_as_dict(root), out)
+    return {
+        name: {"count": v["count"], "total_s": round(v["total_s"], 6)}
+        for name, v in out.items()
+    }
+
+
+def summary_tree(
+    roots: Iterable[Union[Span, SpanDict]],
+    total_s: Optional[float] = None,
+) -> str:
+    """Indented aggregate of span trees, one line per distinct path.
+
+    Percentages are relative to ``total_s`` (default: the summed
+    duration of the root spans), so the top line of a traced campaign
+    reads ~100% and each child shows its share of the run.
+    """
+    tree: Dict[str, _Agg] = {}
+    dicts = [_as_dict(root) for root in roots]
+    for root in dicts:
+        _aggregate(root, tree)
+    if total_s is None:
+        total_s = sum(float(r.get("duration_s", 0.0)) for r in dicts)
+    width = _max_label_width(tree, 0) + 2
+    lines = [
+        f"{'span':<{width}} {'count':>7} {'total':>10} {'share':>7}",
+    ]
+    _format_level(tree, 0, width, total_s, lines)
+    return "\n".join(lines)
+
+
+def _max_label_width(tree: Dict[str, _Agg], depth: int) -> int:
+    width = 0
+    for name, agg in tree.items():
+        width = max(width, 2 * depth + len(name),
+                    _max_label_width(agg.children, depth + 1))
+    return width
+
+
+def _format_level(
+    tree: Dict[str, _Agg],
+    depth: int,
+    width: int,
+    total_s: float,
+    lines: List[str],
+) -> None:
+    ordered = sorted(tree.items(), key=lambda kv: -kv[1].total_s)
+    for name, agg in ordered:
+        label = "  " * depth + name
+        share = 100.0 * agg.total_s / total_s if total_s > 0 else 0.0
+        lines.append(
+            f"{label:<{width}} {agg.count:>6}x {agg.total_s:>9.4f}s "
+            f"{share:>6.1f}%"
+        )
+        _format_level(agg.children, depth + 1, width, total_s, lines)
+
+
+def chrome_summary_table(trace: Dict[str, Any]) -> str:
+    """Per-name aggregate of a Chrome trace object (flat, no nesting)."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for event in trace.get("traceEvents", []):
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        count, total = totals.get(name, (0, 0.0))
+        totals[name] = (count + 1, total + float(event.get("dur", 0.0)) / 1e6)
+    width = max([len(n) for n in totals] + [4]) + 2
+    lines = [f"{'span':<{width}} {'count':>7} {'total':>10}"]
+    for name, (count, total) in sorted(
+        totals.items(), key=lambda kv: -kv[1][1]
+    ):
+        lines.append(f"{name:<{width}} {count:>6}x {total:>9.4f}s")
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Nested-span tracing with a near-zero disabled fast path.
+
+A :class:`Span` measures one timed region of code — a steady-state
+factorization, a campaign job, a grid assembly — and spans nest: the
+tracer keeps a per-thread stack, so a span opened while another is
+active becomes its child, and completed top-level spans accumulate as
+*roots* ready for export (:mod:`repro.obs.export`).
+
+The design constraint is the hot path.  Solver code calls
+:meth:`Tracer.span` on every solve, and tracing is off by default, so
+the disabled path must cost one attribute check and return a shared
+do-nothing context manager (:data:`NULL_SPAN`) — no allocation, no
+clock reads.  The enabled path records wall-clock epoch (for
+cross-process alignment in Chrome trace exports) plus a monotonic
+duration, and is thread-safe: each thread nests independently and
+finished roots are published under a lock.
+
+Spans serialize to plain dicts (:meth:`Span.to_dict`), which is how
+campaign worker processes ship their span trees back to the parent
+through :class:`~repro.campaign.executor.JobOutcome`.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Type, TypeVar, Union
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class NullSpan:
+    """The do-nothing span returned while tracing is disabled.
+
+    A single shared instance (:data:`NULL_SPAN`) serves every call, so
+    a disabled ``with tracer.span(...)`` costs a method call and two
+    no-op dunder invocations — no allocation, no clock reads.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Ignore attributes (tracing is off)."""
+
+
+#: Shared no-op span; identity-comparable in tests.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed, attributed, nestable region of execution.
+
+    Acts as its own context manager: entering records the start clocks
+    and pushes onto the owning tracer's per-thread stack; exiting pops,
+    fixes the duration, marks ``status`` (``"error"`` when an exception
+    escaped), and publishes root spans to the tracer.
+    """
+
+    __slots__ = (
+        "name", "attrs", "t_wall", "duration_s", "pid", "tid",
+        "status", "children", "_t0", "_tracer", "_parented",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.t_wall: float = 0.0
+        self.duration_s: float = 0.0
+        self.pid: int = os.getpid()
+        self.tid: int = threading.get_ident()
+        self.status: str = "ok"
+        self.children: List["Span"] = []
+        self._t0: float = 0.0
+        self._tracer = tracer
+        self._parented = False
+
+    def __enter__(self) -> "Span":
+        self.t_wall = time.time()
+        self._t0 = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._enter(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._exit(self)
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach or update attributes on a live span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-able, picklable across the pool)."""
+        return {
+            "name": self.name,
+            "t_wall": self.t_wall,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        span = cls(str(data.get("name", "?")), dict(data.get("attrs", {})))
+        span.t_wall = float(data.get("t_wall", 0.0))
+        span.duration_s = float(data.get("duration_s", 0.0))
+        span.pid = int(data.get("pid", 0))
+        span.tid = int(data.get("tid", 0))
+        span.status = str(data.get("status", "ok"))
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+
+#: What :meth:`Tracer.span` returns — a real span or the shared no-op.
+AnySpan = Union[Span, NullSpan]
+
+
+class Tracer:
+    """Thread-safe collector of nested spans.
+
+    ``enabled`` is a plain attribute so the disabled check is one load;
+    per-thread nesting uses ``threading.local`` stacks; completed root
+    spans accumulate in ``roots`` (bounded by ``max_roots`` so a
+    forgotten enabled tracer cannot grow without limit — overflow is
+    counted in ``dropped``).
+    """
+
+    def __init__(self, enabled: bool = False, max_roots: int = 100_000) -> None:
+        self.enabled = enabled
+        self.max_roots = max_roots
+        self.dropped = 0
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._lock = threading.Lock()
+
+    # -- span creation ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> AnySpan:
+        """A context-managed span, or the shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attrs, tracer=self)
+
+    def trace(self, name: Optional[str] = None, **attrs: Any) -> Callable[[_F], _F]:
+        """Decorator form: trace every call of the wrapped function."""
+
+        def decorate(fn: _F) -> _F:
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with Span(label, attrs, tracer=self):
+                    return fn(*args, **kwargs)
+
+            return wrapper  # type: ignore[return-value]
+
+        return decorate
+
+    # -- stack bookkeeping (called by Span enter/exit) ----------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span._parented = bool(stack)
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mis-nested exit: unwind through it
+            del stack[stack.index(span):]
+        if not span._parented:
+            with self._lock:
+                if len(self._roots) < self.max_roots:
+                    self._roots.append(span)
+                else:
+                    self.dropped += 1
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- root retrieval -----------------------------------------------------
+
+    @property
+    def roots(self) -> List[Span]:
+        """Completed top-level spans (copy; drain with :meth:`drain`)."""
+        with self._lock:
+            return list(self._roots)
+
+    def drain(self) -> List[Span]:
+        """Return and clear the completed root spans."""
+        with self._lock:
+            roots, self._roots = self._roots, []
+            return roots
+
+    def clear(self) -> None:
+        """Drop all completed roots and the dropped-span count."""
+        with self._lock:
+            self._roots = []
+            self.dropped = 0

@@ -8,10 +8,12 @@ docstring of :mod:`repro.rcmodel` and DESIGN.md Section 5.1.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..convection.flow import local_h_field
 from ..errors import ConfigurationError
 from ..floorplan.block import Floorplan
@@ -20,6 +22,9 @@ from ..package.config import CoolingConfig
 from ..package.layers import ConvectionBoundary, Layer
 from .network import NetworkBuilder, ThermalNetwork
 from .peripheral import SIDES, RimRing, RingGeometry
+
+_ASSEMBLIES = obs.metrics().counter("rcmodel.grid.assemblies")
+_ASSEMBLY_SECONDS = obs.metrics().histogram("rcmodel.grid.assembly_seconds")
 
 
 class _LayerNodes:
@@ -68,8 +73,13 @@ class ThermalGridModel:
         self.silicon_sublayers = int(silicon_sublayers)
         self._builder = NetworkBuilder()
         self.layer_nodes: Dict[str, _LayerNodes] = {}
-        self._assemble()
-        self.network: ThermalNetwork = self._builder.build()
+        t0 = time.perf_counter()
+        with obs.span("rcmodel.grid.assemble", nx=nx, ny=ny,
+                      config=config.name, chip=floorplan.name):
+            self._assemble()
+            self.network: ThermalNetwork = self._builder.build()
+        _ASSEMBLIES.inc()
+        _ASSEMBLY_SECONDS.observe(time.perf_counter() - t0)
         del self._builder
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import PowerTraceError, SolverError
 from ..rcmodel.network import ThermalNetwork
 from .transient import TransientResult, _STEPPERS
@@ -132,21 +133,23 @@ def simulate_schedule(
     records: List[np.ndarray] = [observe(x)]
     now = 0.0
     step_counter = 0
-    for seg_index, power in enumerate(schedule.powers):
-        seg_end = schedule.boundaries[seg_index + 1]
-        while now < seg_end - 1e-12:
-            remaining = seg_end - now
-            if remaining >= dt - 1e-12:
-                x = stepper.step(x, power)
-                now += dt
-            else:
-                key = round(remaining, 15)
-                if key not in short_steppers:
-                    short_steppers[key] = stepper_cls(network, remaining)
-                x = short_steppers[key].step(x, power)
-                now = seg_end
-            step_counter += 1
-            if step_counter % record_every == 0 or now >= seg_end - 1e-12:
-                times.append(now)
-                records.append(observe(x))
+    with obs.span("solver.transient.schedule", method=method, dt=dt,
+                  n_segments=len(schedule.powers), n_nodes=network.n_nodes):
+        for seg_index, power in enumerate(schedule.powers):
+            seg_end = schedule.boundaries[seg_index + 1]
+            while now < seg_end - 1e-12:
+                remaining = seg_end - now
+                if remaining >= dt - 1e-12:
+                    x = stepper.step(x, power)
+                    now += dt
+                else:
+                    key = round(remaining, 15)
+                    if key not in short_steppers:
+                        short_steppers[key] = stepper_cls(network, remaining)
+                    x = short_steppers[key].step(x, power)
+                    now = seg_end
+                step_counter += 1
+                if step_counter % record_every == 0 or now >= seg_end - 1e-12:
+                    times.append(now)
+                    records.append(observe(x))
     return TransientResult(times=np.asarray(times), states=np.vstack(records))

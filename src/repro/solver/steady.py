@@ -14,17 +14,24 @@ triggers refactorization instead of silently reusing a stale factor.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Dict, Union
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import SuperLU, splu
 
+from .. import obs
 from ..errors import SolverError
 from ..rcmodel.grid import ThermalGridModel
 from ..rcmodel.network import ThermalNetwork
 
 _FACTOR_CACHE_ATTR = "_cached_lu_factor"
+
+_FACTORIZATIONS = obs.metrics().counter("solver.steady.factorizations")
+_FACTOR_CACHE_HITS = obs.metrics().counter("solver.steady.factor_cache_hits")
+_SOLVES = obs.metrics().counter("solver.steady.solves")
+_SOLVE_SECONDS = obs.metrics().histogram("solver.steady.solve_seconds")
 
 
 def system_fingerprint(matrix: sparse.spmatrix) -> str:
@@ -48,11 +55,17 @@ def _factorize(network: ThermalNetwork) -> SuperLU:
     fingerprint = system_fingerprint(matrix)
     cached = getattr(network, _FACTOR_CACHE_ATTR, None)
     if cached is not None and cached[0] == fingerprint:
+        _FACTOR_CACHE_HITS.inc()
         return cached[1]
-    try:
-        factor = splu(matrix)
-    except RuntimeError as exc:  # singular matrix
-        raise SolverError(f"steady-state factorization failed: {exc}") from exc
+    with obs.span("solver.steady.factorize",
+                  n_nodes=matrix.shape[0], nnz=int(matrix.nnz)):
+        try:
+            factor = splu(matrix)
+        except RuntimeError as exc:  # singular matrix
+            raise SolverError(
+                f"steady-state factorization failed: {exc}"
+            ) from exc
+    _FACTORIZATIONS.inc()
     setattr(network, _FACTOR_CACHE_ATTR, (fingerprint, factor))
     return factor
 
@@ -65,9 +78,15 @@ def steady_state(network: ThermalNetwork, node_power: np.ndarray) -> np.ndarray:
             f"power vector has shape {node_power.shape}, "
             f"expected ({network.n_nodes},)"
         )
-    rise = _factorize(network).solve(node_power)
-    if not np.all(np.isfinite(rise)):
-        raise SolverError("steady-state solve produced non-finite temperatures")
+    t0 = time.perf_counter()
+    with obs.span("solver.steady.solve", n_nodes=network.n_nodes):
+        rise = _factorize(network).solve(node_power)
+        if not np.all(np.isfinite(rise)):
+            raise SolverError(
+                "steady-state solve produced non-finite temperatures"
+            )
+    _SOLVES.inc()
+    _SOLVE_SECONDS.observe(time.perf_counter() - t0)
     return rise
 
 

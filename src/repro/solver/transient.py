@@ -24,10 +24,14 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import splu
 
+from .. import obs
 from ..errors import SolverError
 from ..rcmodel.network import ThermalNetwork
 
 PowerInput = Union[np.ndarray, Callable[[float], np.ndarray]]
+
+_MATRIX_BUILDS = obs.metrics().counter("solver.transient.matrix_builds")
+_STEPS = obs.metrics().counter("solver.transient.steps")
 
 
 @dataclass
@@ -69,10 +73,13 @@ class TrapezoidalStepper:
             raise SolverError("dt must be positive")
         self.network = network
         self.dt = float(dt)
-        c_over_dt = sparse.diags(network.capacitance / self.dt)
-        a = network.system_matrix
-        self._lhs = splu((c_over_dt + 0.5 * a).tocsc())
-        self._rhs_matrix = (c_over_dt - 0.5 * a).tocsr()
+        with obs.span("solver.transient.factorize", method="trapezoidal",
+                      n_nodes=network.n_nodes, dt=self.dt):
+            c_over_dt = sparse.diags(network.capacitance / self.dt)
+            a = network.system_matrix
+            self._lhs = splu((c_over_dt + 0.5 * a).tocsc())
+            self._rhs_matrix = (c_over_dt - 0.5 * a).tocsr()
+        _MATRIX_BUILDS.inc()
 
     def step(self, x: np.ndarray, p_now: np.ndarray,
              p_next: Optional[np.ndarray] = None) -> np.ndarray:
@@ -80,6 +87,7 @@ class TrapezoidalStepper:
         if p_next is None:
             p_next = p_now
         rhs = self._rhs_matrix @ x + 0.5 * (p_now + p_next)
+        _STEPS.inc()
         return self._lhs.solve(rhs)
 
 
@@ -96,15 +104,19 @@ class BackwardEulerStepper:
             raise SolverError("dt must be positive")
         self.network = network
         self.dt = float(dt)
-        self._c_over_dt = network.capacitance / self.dt
-        a = network.system_matrix
-        self._lhs = splu((sparse.diags(self._c_over_dt) + a).tocsc())
+        with obs.span("solver.transient.factorize", method="backward_euler",
+                      n_nodes=network.n_nodes, dt=self.dt):
+            self._c_over_dt = network.capacitance / self.dt
+            a = network.system_matrix
+            self._lhs = splu((sparse.diags(self._c_over_dt) + a).tocsc())
+        _MATRIX_BUILDS.inc()
 
     def step(self, x: np.ndarray, p_now: np.ndarray,
              p_next: Optional[np.ndarray] = None) -> np.ndarray:
         """One time step from state ``x`` under the given power(s)."""
         p_end = p_now if p_next is None else p_next
         rhs = self._c_over_dt * x + p_end
+        _STEPS.inc()
         return self._lhs.solve(rhs)
 
 
@@ -174,14 +186,16 @@ def transient_simulate(
     times: List[float] = [0.0]
     records: List[np.ndarray] = [observe(x)]
     p_now = np.asarray(power_at(0.0), dtype=float)
-    for step_index in range(1, n_steps + 1):
-        t_next = step_index * dt
-        p_next = np.asarray(power_at(t_next), dtype=float)
-        x = stepper.step(x, p_now, p_next)
-        p_now = p_next
-        if step_index % record_every == 0 or step_index == n_steps:
-            times.append(t_next)
-            records.append(observe(x))
+    with obs.span("solver.transient.simulate", method=method,
+                  n_steps=n_steps, dt=dt, n_nodes=network.n_nodes):
+        for step_index in range(1, n_steps + 1):
+            t_next = step_index * dt
+            p_next = np.asarray(power_at(t_next), dtype=float)
+            x = stepper.step(x, p_now, p_next)
+            p_now = p_next
+            if step_index % record_every == 0 or step_index == n_steps:
+                times.append(t_next)
+                records.append(observe(x))
     states = np.vstack(records) if records[0].ndim else np.asarray(records)
     return TransientResult(times=np.asarray(times), states=states)
 
