@@ -1,6 +1,6 @@
 """Physics-aware static analysis for the reproduction codebase.
 
-An AST-based checker with five rules, each mapped to a real failure
+An AST-based checker with eight rules, each mapped to a real failure
 mode of this repository (see DESIGN.md, "Static analysis"):
 
 * ``unit-consistency`` (R1) — dimension mismatches and magic material
@@ -13,7 +13,22 @@ mode of this repository (see DESIGN.md, "Static analysis"):
 * ``pickle-safety`` (R4) — unpicklable callables or shared mutable
   state at the process-pool boundary;
 * ``float-equality`` (R5) — exact float comparison outside declared
-  sentinels.
+  sentinels;
+* ``unit-flow`` (R6) — *interprocedural* dimension mismatches: wrong
+  units flowing through call sites, returns that contradict their
+  ``units.quantity`` annotation, Kelvin/Celsius scale mixing;
+* ``pool-safety`` (R7) — functions reachable from campaign pool
+  workers mutating module-level or closed-over state;
+* ``obs-taxonomy`` (R8) — span/metric names outside the
+  :mod:`repro.obs.taxonomy` registry, spans opened outside ``with``.
+
+R6 and R7 are whole-program rules (:class:`ProjectRule`): the runner
+compiles every file to a cacheable module summary, links a project
+symbol table and call graph, propagates dimension signatures to a
+fixpoint, then checks flows across module boundaries.  Per-file
+outcomes are cached on content hash and fan out over a process pool
+(``repro analyze -j N``); ``--diff REF``/``--changed-only`` narrow
+reporting to git-changed files for fast PR gating.
 
 Run it via ``repro analyze [paths]`` (text/JSON/SARIF output, committed
 baseline, CI gating) or programmatically through
@@ -21,34 +36,58 @@ baseline, CI gating) or programmatically through
 """
 
 from .baseline import DEFAULT_BASELINE, Baseline, finding_fingerprint
+from .cache import AnalysisCache, config_fingerprint
+from .callgraph import CallGraph, ModuleSummary, SymbolTable, extract_summary
 from .core import (
+    RULE_ALIASES,
     Finding,
+    ProjectRule,
     Rule,
     SourceFile,
+    canonical_rule_name,
     make_rules,
     rule_names,
     severity_rank,
 )
 from .dimensions import DIMENSIONLESS, Dimension, DimensionError, parse_dimension
+from .interp import ProjectContext, build_project
 from .report import format_json, format_sarif, format_text
-from .runner import AnalysisResult, analyze_file, analyze_paths, iter_python_files
+from .runner import (
+    AnalysisResult,
+    analyze_file,
+    analyze_paths,
+    git_changed_files,
+    iter_python_files,
+)
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisResult",
     "Baseline",
+    "CallGraph",
     "DEFAULT_BASELINE",
     "DIMENSIONLESS",
     "Dimension",
     "DimensionError",
     "Finding",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectRule",
+    "RULE_ALIASES",
     "Rule",
     "SourceFile",
+    "SymbolTable",
     "analyze_file",
     "analyze_paths",
+    "build_project",
+    "canonical_rule_name",
+    "config_fingerprint",
+    "extract_summary",
     "finding_fingerprint",
     "format_json",
     "format_sarif",
     "format_text",
+    "git_changed_files",
     "iter_python_files",
     "make_rules",
     "parse_dimension",

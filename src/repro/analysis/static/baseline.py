@@ -41,6 +41,8 @@ def normalize_path(path: str) -> str:
         rel = os.path.relpath(path)
         if not rel.startswith(".."):
             path = rel
+    else:
+        path = os.path.normpath(path)  # "./x.py" and "x.py" must match
     return path.replace(os.sep, "/").replace("\\", "/")
 
 

@@ -1,0 +1,715 @@
+"""Project-wide symbol table and call graph over module summaries.
+
+The whole-program pass never holds more than one AST at a time:
+:func:`extract_summary` compiles a parsed file down to a
+:class:`ModuleSummary` — functions, their parameters and annotations,
+symbolic return/argument descriptors (:mod:`.signatures`), call sites,
+module-state mutations, import aliases, and pragma lines — and the
+summary is what gets cached per content hash and re-loaded on warm
+runs.  :class:`SymbolTable` links summaries together (resolving
+imports and ``from x import y`` re-export aliases to fully-qualified
+names) and :class:`CallGraph` answers reachability queries for the
+pool-safety rule.
+
+Module names are derived structurally: a file's dotted name is built
+by walking parent directories for as long as they contain an
+``__init__.py``, so ``src/repro/convection/flow.py`` becomes
+``repro.convection.flow`` without any configuration, and fixture
+packages resolve the same way under ``tests/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import SourceFile, iter_functions
+from .signatures import Desc, SymbolicInferer, UNKNOWN, load_unit_tables
+
+#: Method names whose call on a container mutates it in place.
+MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault",
+     "pop", "popitem", "remove", "discard", "clear"}
+)
+
+_SUMMARY_VERSION = 1
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    line: int
+    col: int
+    callee: str                      # dotted name as written ("np.sqrt")
+    args: List[Desc] = field(default_factory=list)
+    kwargs: Dict[str, Desc] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "callee": self.callee,
+                "args": self.args, "kwargs": self.kwargs}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "CallSite":
+        return cls(
+            line=int(data["line"]), col=int(data["col"]),
+            callee=str(data["callee"]),
+            args=list(data.get("args", [])),  # type: ignore[arg-type]
+            kwargs=dict(data.get("kwargs", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class AddSite:
+    """An addition/subtraction whose operand dimensions may conflict.
+
+    Recorded when both sides have *symbolic* information but local
+    extraction cannot prove them equal (one references a parameter or
+    a call); R6 evaluates both sides once signatures are known.
+    """
+
+    line: int
+    col: int
+    op: str  # "+" | "-"
+    left: Desc = field(default_factory=lambda: list(UNKNOWN))
+    right: Desc = field(default_factory=lambda: list(UNKNOWN))
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "op": self.op,
+                "left": self.left, "right": self.right}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "AddSite":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   op=str(data["op"]),
+                   left=list(data.get("left", UNKNOWN)),  # type: ignore[arg-type]
+                   right=list(data.get("right", UNKNOWN)))  # type: ignore[arg-type]
+
+
+@dataclass
+class Mutation:
+    """A write to module-level or closed-over state."""
+
+    line: int
+    col: int
+    name: str
+    kind: str  # "global" | "nonlocal" | "subscript" | "method" | "augassign"
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "name": self.name,
+                "kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Mutation":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   name=str(data["name"]), kind=str(data["kind"]),
+                   detail=str(data.get("detail", "")))
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the whole-program pass needs about one function."""
+
+    qualname: str
+    line: int
+    col: int
+    params: List[str] = field(default_factory=list)
+    #: param name (or "return") -> unit text from a quantity annotation
+    annotations: Dict[str, str] = field(default_factory=dict)
+    returns: List[Desc] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    adds: List[AddSite] = field(default_factory=list)
+    mutations: List[Mutation] = field(default_factory=list)
+    is_method: bool = False
+    is_nested: bool = False
+    runner_registered: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname, "line": self.line, "col": self.col,
+            "params": self.params, "annotations": self.annotations,
+            "returns": self.returns,
+            "calls": [call.to_json() for call in self.calls],
+            "adds": [a.to_json() for a in self.adds],
+            "mutations": [m.to_json() for m in self.mutations],
+            "is_method": self.is_method, "is_nested": self.is_nested,
+            "runner_registered": self.runner_registered,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            line=int(data["line"]), col=int(data["col"]),
+            params=list(data.get("params", [])),  # type: ignore[arg-type]
+            annotations=dict(data.get("annotations", {})),  # type: ignore[arg-type]
+            returns=list(data.get("returns", [])),  # type: ignore[arg-type]
+            calls=[CallSite.from_json(c)  # type: ignore[arg-type]
+                   for c in data.get("calls", [])],  # type: ignore[union-attr]
+            adds=[AddSite.from_json(a)  # type: ignore[arg-type]
+                  for a in data.get("adds", [])],  # type: ignore[union-attr]
+            mutations=[Mutation.from_json(m)  # type: ignore[arg-type]
+                       for m in data.get("mutations", [])],  # type: ignore[union-attr]
+            is_method=bool(data.get("is_method", False)),
+            is_nested=bool(data.get("is_nested", False)),
+            runner_registered=bool(data.get("runner_registered", False)),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The cacheable whole-program view of one source file."""
+
+    path: str
+    module: Optional[str]
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    module_mutables: List[str] = field(default_factory=list)
+    #: dotted names of callables handed to a pool submit/map call
+    submit_targets: List[str] = field(default_factory=list)
+    #: pragma line -> suppressed canonical rule names (None = all)
+    pragmas: Dict[int, Optional[List[str]]] = field(default_factory=dict)
+    #: stripped text of lines findings may anchor to (fingerprinting)
+    anchor_lines: Dict[int, str] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": _SUMMARY_VERSION,
+            "path": self.path, "module": self.module,
+            "imports": self.imports,
+            "functions": {name: fn.to_json()
+                          for name, fn in self.functions.items()},
+            "module_mutables": self.module_mutables,
+            "submit_targets": self.submit_targets,
+            "pragmas": {str(line): rules
+                        for line, rules in self.pragmas.items()},
+            "anchor_lines": {str(line): text
+                             for line, text in self.anchor_lines.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ModuleSummary":
+        return cls(
+            path=str(data["path"]),
+            module=data["module"] if data["module"] is None else str(data["module"]),
+            imports=dict(data.get("imports", {})),  # type: ignore[arg-type]
+            functions={
+                str(name): FunctionSummary.from_json(fn)  # type: ignore[arg-type]
+                for name, fn in dict(data.get("functions", {})).items()  # type: ignore[arg-type]
+            },
+            module_mutables=list(data.get("module_mutables", [])),  # type: ignore[arg-type]
+            submit_targets=list(data.get("submit_targets", [])),  # type: ignore[arg-type]
+            pragmas={
+                int(line): (None if rules is None else list(rules))
+                for line, rules in dict(data.get("pragmas", {})).items()  # type: ignore[arg-type]
+            },
+            anchor_lines={
+                int(line): str(text)
+                for line, text in dict(data.get("anchor_lines", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name by walking up through ``__init__.py`` parents."""
+    path = os.path.abspath(path)
+    base = os.path.basename(path)
+    if not base.endswith(".py"):
+        return None
+    parts: List[str] = []
+    if base != "__init__.py":
+        parts.append(base[: -len(".py")])
+    directory = os.path.dirname(path)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+def _resolve_relative(module: Optional[str], level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Absolute form of a ``from ...x import y`` module reference."""
+    if level == 0:
+        return target
+    if module is None:
+        return None
+    parts = module.split(".")
+    if level > len(parts):
+        return None
+    base = parts[: len(parts) - level]
+    if target:
+        base.append(target)
+    return ".".join(base) if base else None
+
+
+def _quantity_annotation(node: Optional[ast.expr]) -> Optional[str]:
+    """Unit text of an ``Annotated[..., quantity("...")]`` annotation."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    base = node.value
+    base_name = base.attr if isinstance(base, ast.Attribute) else (
+        base.id if isinstance(base, ast.Name) else None
+    )
+    if base_name != "Annotated":
+        return None
+    inner = node.slice
+    elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+    for element in elements:
+        if not isinstance(element, ast.Call):
+            continue
+        func = element.func
+        func_name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if func_name != "quantity" or not element.args:
+            continue
+        arg = element.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_POOL_HINTS = ("pool", "executor")
+_SUBMIT_METHODS = frozenset(
+    {"submit", "map", "apply", "apply_async", "imap", "imap_unordered",
+     "starmap"}
+)
+
+
+def _module_mutables(tree: ast.Module) -> List[str]:
+    names: List[str] = []
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                              ast.ListComp, ast.SetComp)):
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.append(target.id)
+    return names
+
+
+def _imports(tree: ast.Module, module: Optional[str]) -> Dict[str, str]:
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            target_module = _resolve_relative(module, node.level, node.module)
+            if target_module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{target_module}.{alias.name}"
+    return table
+
+
+class _FunctionExtractor:
+    """Walks one function body collecting calls/returns/mutations."""
+
+    def __init__(self, info, symbols: Dict[str, str],
+                 attributes: Dict[str, str]) -> None:
+        self.node = info.node
+        self.params = _param_names(self.node)
+        self.inferer = SymbolicInferer(symbols, attributes, self.params)
+        self.calls: List[CallSite] = []
+        self.returns: List[Desc] = []
+        self.adds: List[AddSite] = []
+        self.mutations: List[Mutation] = []
+        self.global_names: Set[str] = set()
+        self.nonlocal_names: Set[str] = set()
+        self.local_names: Set[str] = set(self.params)
+        self._collect_locals()
+
+    def _collect_locals(self) -> None:
+        for node in self._own_nodes():
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                targets = [node.target]
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                targets = [node.optional_vars]
+            elif isinstance(node, ast.Global):
+                self.global_names.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                self.nonlocal_names.update(node.names)
+            for target in targets:
+                self._bind_names(target)
+        self.local_names -= self.global_names
+        self.local_names -= self.nonlocal_names
+
+    def _bind_names(self, target: ast.expr) -> None:
+        """Record names *bound* by a target (not Subscript/Attribute
+        stores, which mutate an existing object rather than binding)."""
+        if isinstance(target, ast.Name):
+            self.local_names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_names(element)
+        elif isinstance(target, ast.Starred):
+            self._bind_names(target.value)
+
+    def _own_nodes(self):
+        """Every node of this function body, not descending into defs."""
+        stack = list(ast.iter_child_nodes(self.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def run(self) -> None:
+        self._walk_body(self.node.body)
+
+    def _walk_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            self._visit_stmt(stmt)
+            # keep the assignment environment flowing in order
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self.inferer.bind(target, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self.inferer.bind(stmt.target, stmt.value)
+            for child_body in _nested_bodies(stmt):
+                self._walk_body(child_body)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        for node in _shallow_walk(stmt):
+            if isinstance(node, ast.Call):
+                self._record_call(node)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self.returns.append(self.inferer.infer(node.value))
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                self._record_add(node)
+        self._record_mutations(stmt)
+
+    def _record_add(self, node: ast.BinOp) -> None:
+        """Keep +/- sites R6 must re-check once signatures are known:
+        both sides carry information, at least one is symbolic, and
+        local inference could not prove them equal."""
+        from .signatures import NUM
+
+        left = self.inferer.infer(node.left)
+        right = self.inferer.infer(node.right)
+        if left in (UNKNOWN, NUM) or right in (UNKNOWN, NUM):
+            return
+        if left == right:
+            return
+        symbolic = {"param", "ret", "mul", "div", "pow"}
+        if left[0] not in symbolic and right[0] not in symbolic:
+            return  # both concrete: the per-file unit rule owns this
+        self.adds.append(
+            AddSite(
+                line=node.lineno, col=node.col_offset,
+                op="+" if isinstance(node.op, ast.Add) else "-",
+                left=left, right=right,
+            )
+        )
+
+    def _record_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            self.calls.append(
+                CallSite(
+                    line=node.lineno, col=node.col_offset, callee=dotted,
+                    args=[self.inferer.infer(arg) for arg in node.args
+                          if not isinstance(arg, ast.Starred)],
+                    kwargs={
+                        kw.arg: self.inferer.infer(kw.value)
+                        for kw in node.keywords if kw.arg is not None
+                    },
+                )
+            )
+        # pool submissions double as pool-safety roots
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SUBMIT_METHODS
+            and any(h in (_dotted(func.value) or "").lower()
+                    for h in _POOL_HINTS)
+            and node.args
+        ):
+            target = _dotted(node.args[0])
+            if target is not None:
+                self.calls.append(
+                    CallSite(line=node.lineno, col=node.col_offset,
+                             callee=target, args=[], kwargs={})
+                )
+                self.submit_target = target
+
+    def _record_mutations(self, stmt: ast.stmt) -> None:
+        for node in _shallow_walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._mutation_target(target, "assign")
+            elif isinstance(node, ast.AugAssign):
+                self._mutation_target(node.target, "augassign")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                ):
+                    self._add_mutation(func.value, func.value.id,
+                                       "method", func.attr)
+
+    def _mutation_target(self, target: ast.expr, how: str) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.global_names:
+                self._add_mutation(target, target.id, "global", how)
+            elif target.id in self.nonlocal_names:
+                self._add_mutation(target, target.id, "nonlocal", how)
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            self._add_mutation(target, target.value.id, "subscript", how)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._mutation_target(element, how)
+
+    def _add_mutation(self, node: ast.AST, name: str, kind: str,
+                      detail: str) -> None:
+        if kind in ("subscript", "method") and name in self.local_names:
+            return  # a local shadows the module-level name
+        self.mutations.append(
+            Mutation(line=getattr(node, "lineno", 1),
+                     col=getattr(node, "col_offset", 0),
+                     name=name, kind=kind, detail=detail)
+        )
+
+
+def _param_names(node) -> List[str]:
+    args = node.args
+    names = [a.arg for a in getattr(args, "posonlyargs", [])]
+    names += [a.arg for a in args.args]
+    return names
+
+
+def _param_annotations(node) -> Dict[str, str]:
+    annotations: Dict[str, str] = {}
+    args = node.args
+    for arg in list(getattr(args, "posonlyargs", [])) + list(args.args) + list(
+        args.kwonlyargs
+    ):
+        unit = _quantity_annotation(arg.annotation)
+        if unit is not None:
+            annotations[arg.arg] = unit
+    unit = _quantity_annotation(node.returns)
+    if unit is not None:
+        annotations["return"] = unit
+    return annotations
+
+
+def _nested_bodies(stmt: ast.stmt):
+    for attr in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, attr, None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            yield body
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+
+
+def _shallow_walk(stmt: ast.stmt):
+    """Nodes of one statement, not descending into nested statements/defs."""
+    yield stmt
+    stack = [
+        child for child in ast.iter_child_nodes(stmt)
+        if not isinstance(child, (ast.stmt, ast.FunctionDef,
+                                  ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(
+            child for child in ast.iter_child_nodes(node)
+            if not isinstance(child, (ast.stmt, ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.ClassDef))
+        )
+
+
+def extract_summary(source: SourceFile) -> ModuleSummary:
+    """Compile one parsed file into its cacheable module summary."""
+    tables = load_unit_tables()
+    symbols = tables["dimensions"]
+    attributes = tables["attributes"]
+    module = module_name_for(source.path)
+    summary = ModuleSummary(
+        path=source.path,
+        module=module,
+        imports=_imports(source.tree, module),
+        module_mutables=_module_mutables(source.tree),
+        pragmas={
+            line: (None if rules is None else sorted(rules))
+            for line, rules in source.pragma_map().items()
+        },
+    )
+    anchor_lines: Set[int] = set(summary.pragmas)
+    for info in iter_functions(source.tree):
+        extractor = _FunctionExtractor(info, symbols, attributes)
+        extractor.run()
+        registered = any(
+            isinstance(dec, ast.Call)
+            and (_dotted(dec.func) or "").split(".")[-1] == "runner"
+            for dec in info.node.decorator_list
+        )
+        function = FunctionSummary(
+            qualname=info.qualname,
+            line=info.node.lineno,
+            col=info.node.col_offset,
+            params=extractor.params,
+            annotations=_param_annotations(info.node),
+            returns=extractor.returns,
+            calls=extractor.calls,
+            adds=extractor.adds,
+            mutations=extractor.mutations,
+            is_method=info.parent_class is not None,
+            is_nested=info.parent_function is not None,
+            runner_registered=registered,
+        )
+        summary.functions[info.qualname] = function
+        anchor_lines.add(function.line)
+        anchor_lines.update(call.line for call in function.calls)
+        anchor_lines.update(a.line for a in function.adds)
+        anchor_lines.update(m.line for m in function.mutations)
+        submit = getattr(extractor, "submit_target", None)
+        if submit is not None and submit not in summary.submit_targets:
+            summary.submit_targets.append(submit)
+    summary.anchor_lines = {
+        line: source.line_text(line).strip() for line in sorted(anchor_lines)
+    }
+    return summary
+
+
+class SymbolTable:
+    """Fully-qualified function lookup across every analyzed module."""
+
+    def __init__(self, summaries: List[ModuleSummary]) -> None:
+        self.summaries = summaries
+        #: fqn -> (module summary, function summary)
+        self.functions: Dict[str, Tuple[ModuleSummary, FunctionSummary]] = {}
+        #: fqn alias -> fqn target (from ``from x import y`` statements)
+        self.aliases: Dict[str, str] = {}
+        for summary in summaries:
+            if summary.module is None:
+                continue
+            for qualname, function in summary.functions.items():
+                if function.is_nested:
+                    continue
+                self.functions[f"{summary.module}.{qualname}"] = (
+                    summary, function
+                )
+            for local, target in summary.imports.items():
+                self.aliases[f"{summary.module}.{local}"] = target
+
+    def resolve(self, module: ModuleSummary,
+                dotted: str) -> Optional[str]:
+        """Fully-qualified name a dotted reference points at, or None."""
+        candidates: List[str] = []
+        head, _, rest = dotted.partition(".")
+        if head in module.imports:
+            target = module.imports[head]
+            candidates.append(f"{target}.{rest}" if rest else target)
+        if module.module is not None:
+            candidates.append(f"{module.module}.{dotted}")
+        candidates.append(dotted)
+        for candidate in candidates:
+            resolved = self._follow(candidate)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _follow(self, candidate: str) -> Optional[str]:
+        for _ in range(10):
+            if candidate in self.functions:
+                return candidate
+            if candidate in self.aliases:
+                candidate = self.aliases[candidate]
+                continue
+            return None
+        return None
+
+    def lookup(self, fqn: str) -> Optional[FunctionSummary]:
+        entry = self.functions.get(fqn)
+        return entry[1] if entry is not None else None
+
+    def module_of(self, fqn: str) -> Optional[ModuleSummary]:
+        entry = self.functions.get(fqn)
+        return entry[0] if entry is not None else None
+
+
+class CallGraph:
+    """Resolved caller -> callee edges plus reachability queries."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: Dict[str, Set[str]] = {}
+        for summary in table.summaries:
+            if summary.module is None:
+                continue
+            for qualname, function in summary.functions.items():
+                caller = f"{summary.module}.{qualname}"
+                targets = self.edges.setdefault(caller, set())
+                for call in function.calls:
+                    resolved = table.resolve(summary, call.callee)
+                    if resolved is not None:
+                        targets.add(resolved)
+
+    def callees(self, fqn: str) -> Set[str]:
+        return self.edges.get(fqn, set())
+
+    def reachable_from(self, roots: List[str]) -> Dict[str, str]:
+        """BFS closure: reachable fqn -> the root it is reachable from."""
+        seen: Dict[str, str] = {}
+        frontier = [(root, root) for root in roots]
+        while frontier:
+            fqn, root = frontier.pop()
+            if fqn in seen:
+                continue
+            seen[fqn] = root
+            for callee in self.callees(fqn):
+                if callee not in seen:
+                    frontier.append((callee, root))
+        return seen

@@ -28,6 +28,25 @@ _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
 _PRAGMA_RE = re.compile(r"#\s*repro-ok(?::\s*(?P<rules>[\w\s,-]+))?")
 
+#: Short ``R<n>`` aliases for the rule names, usable in ``--rules`` and
+#: in pragmas (``repro-ok: R2,R6``).  The numbering matches the
+#: DESIGN.md rule catalogue and is stable across releases.
+RULE_ALIASES: Dict[str, str] = {
+    "R1": "unit-consistency",
+    "R2": "cache-invalidation",
+    "R3": "hash-determinism",
+    "R4": "pickle-safety",
+    "R5": "float-equality",
+    "R6": "unit-flow",
+    "R7": "pool-safety",
+    "R8": "obs-taxonomy",
+}
+
+
+def canonical_rule_name(name: str) -> str:
+    """Resolve an ``R<n>`` alias to its rule name (others pass through)."""
+    return RULE_ALIASES.get(name.upper(), name)
+
 
 def severity_rank(severity: str) -> int:
     """Numeric rank of a severity name (higher = more severe)."""
@@ -81,20 +100,40 @@ class SourceFile:
             return cls(path, handle.read())
 
     def _scan_pragmas(self) -> Dict[int, Optional[Set[str]]]:
-        """Map line number -> suppressed rule names (None = all rules)."""
+        """Map line number -> suppressed rule names (None = all rules).
+
+        Only genuine ``#`` comments count: docstrings and string
+        literals that merely *mention* a pragma (rule documentation,
+        fixture snippets, report messages) must neither suppress
+        findings nor trip the unused-pragma check, so the scan walks
+        tokenizer COMMENT tokens rather than raw line text.
+        """
         pragmas: Dict[int, Optional[Set[str]]] = {}
-        for number, line in enumerate(self.lines, start=1):
-            if "repro-ok" not in line:
+        if "repro-ok" not in self.text:
+            return pragmas
+        import io
+        import tokenize
+
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.text).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return pragmas
+        for token in tokens:
+            if token.type != tokenize.COMMENT or "repro-ok" not in token.string:
                 continue
-            match = _PRAGMA_RE.search(line)
+            match = _PRAGMA_RE.search(token.string)
             if not match:
                 continue
             names = match.group("rules")
             if names is None:
-                pragmas[number] = None
+                pragmas[token.start[0]] = None
             else:
-                pragmas[number] = {
-                    name.strip() for name in names.split(",") if name.strip()
+                pragmas[token.start[0]] = {
+                    canonical_rule_name(name.strip())
+                    for name in names.split(",")
+                    if name.strip()
                 }
         return pragmas
 
@@ -104,6 +143,17 @@ class SourceFile:
             return False
         allowed = self._pragmas[line]
         return allowed is None or rule in allowed
+
+    def pragma_map(self) -> Dict[int, Optional[Set[str]]]:
+        """Line -> suppressed rule names (``None`` = every rule).
+
+        Rule names are canonical (``R<n>`` aliases already resolved).
+        The runner uses this to apply suppression centrally — including
+        to whole-program findings produced long after the file was
+        parsed (possibly from a cached summary) — and to report pragmas
+        that no longer suppress anything.
+        """
+        return dict(self._pragmas)
 
     def line_text(self, line: int) -> str:
         """The text of a 1-based physical line ('' when out of range)."""
@@ -190,6 +240,46 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Where a plain :class:`Rule` sees one :class:`SourceFile` at a time,
+    a project rule runs once per analysis over a
+    :class:`~repro.analysis.static.interp.ProjectContext` — the module
+    summaries, symbol table, call graph, and dimension signatures of
+    every analyzed file — and may anchor findings in any of them.
+    Subclasses implement :meth:`check_project`; :meth:`check` is a
+    no-op so project rules compose with the per-file driver.
+    """
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "object") -> Iterator[Finding]:
+        """Yield findings over the whole analyzed project."""
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding anchored at an explicit location."""
+        return Finding(
+            rule=self.name,
+            severity=severity or self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+        )
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -215,7 +305,7 @@ def make_rules(names: Optional[Iterable[str]] = None) -> List[Rule]:
     if names is None:
         selected = sorted(_REGISTRY)
     else:
-        selected = list(names)
+        selected = [canonical_rule_name(name) for name in names]
         unknown = [name for name in selected if name not in _REGISTRY]
         if unknown:
             raise ValueError(
@@ -230,7 +320,10 @@ def _load_rule_modules() -> None:
         rules_cache,
         rules_determinism,
         rules_float,
+        rules_interp,
+        rules_obs,
         rules_pickle,
+        rules_pool,
         rules_units,
     )
 

@@ -21,8 +21,13 @@ from __future__ import annotations
 import re
 from typing import Dict, Iterator, List, Tuple
 
-#: SI base units, in canonical display order.
-BASE_UNITS = ("kg", "m", "s", "K", "A", "mol", "cd")
+#: SI base units, in canonical display order — plus ``degC``, a
+#: pseudo-base unit for temperatures on the Celsius *scale*.  Kelvin
+#: and Celsius differ by an offset, not a factor, so treating them as
+#: the same dimension would let ``kelvin_to_celsius(t) + ambient_k``
+#: pass silently; a distinct exponent axis makes K-vs-°C mixing a
+#: dimension mismatch like any other.
+BASE_UNITS = ("kg", "m", "s", "K", "A", "mol", "cd", "degC")
 
 #: Derived units expanded during parsing, as base-unit exponent maps.
 DERIVED_UNITS: Dict[str, Dict[str, int]] = {

@@ -1,0 +1,158 @@
+"""Interprocedural dimension propagation (the whole-program fixpoint).
+
+:func:`build_project` links per-file :class:`ModuleSummary` objects
+into a :class:`ProjectContext` — symbol table, call graph, and one
+:class:`FunctionSignature` per function — then runs a fixpoint that
+flows return dimensions through call sites until nothing changes.
+
+Signature seeding, strongest source first:
+
+1. explicit ``Annotated[..., units.quantity("...")]`` annotations on
+   parameters and returns;
+2. the :data:`repro.units.PARAMETER_DIMENSIONS` naming table (a
+   parameter called ``heat_transfer_coefficient`` is W/(m²·K) anywhere
+   in the project);
+3. propagation: a function whose every return expression evaluates to
+   the same concrete dimension acquires that return dimension, which
+   may unlock callers on the next pass.
+
+``units.py`` conversion constructors get *fixed* signatures straight
+from :data:`repro.units.DIMENSIONS`: their bodies legitimately mix
+scales (``temp_c + ZERO_CELSIUS_IN_KELVIN`` is the whole point of an
+offset conversion), so body re-inference is skipped for them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .callgraph import CallGraph, ModuleSummary, SymbolTable
+from .dimensions import Dimension
+from .signatures import (
+    FunctionSignature,
+    eval_desc,
+    load_unit_tables,
+    parse_cached,
+)
+
+#: Call pattern treated as a units constructor when the symbol table
+#: cannot resolve it (fixtures analyzed standalone import no package).
+_UNITS_CALL_RE = re.compile(r"(?:^|\.)units\.(\w+)$")
+
+_MAX_PASSES = 10
+
+
+@dataclass
+class ProjectContext:
+    """Everything the whole-program rules see."""
+
+    summaries: List[ModuleSummary]
+    table: SymbolTable
+    graph: CallGraph
+    #: fully-qualified function name -> inferred signature
+    signatures: Dict[str, FunctionSignature] = field(default_factory=dict)
+    #: unit tables snapshot (text form) used during the build
+    tables: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def by_path(self) -> Dict[str, ModuleSummary]:
+        return {summary.path: summary for summary in self.summaries}
+
+    def ret_lookup(
+        self, summary: ModuleSummary
+    ) -> Callable[[str], Optional[Dimension]]:
+        """Return-dimension resolver for call descriptors in ``summary``."""
+        dimensions = self.tables.get("dimensions", {})
+
+        def lookup(dotted: str) -> Optional[Dimension]:
+            fqn = self.table.resolve(summary, dotted)
+            if fqn is not None:
+                signature = self.signatures.get(fqn)
+                return signature.ret if signature is not None else None
+            match = _UNITS_CALL_RE.search(dotted)
+            if match and match.group(1) in dimensions:
+                return parse_cached(dimensions[match.group(1)])
+            return None
+
+        return lookup
+
+
+def _seed_signature(
+    summary: ModuleSummary,
+    qualname: str,
+    parameters: Dict[str, str],
+    dimensions: Dict[str, str],
+) -> FunctionSignature:
+    function = summary.functions[qualname]
+    signature = FunctionSignature(param_order=list(function.params))
+    for name in function.params:
+        if name in function.annotations:
+            signature.params[name] = parse_cached(function.annotations[name])
+        elif name in parameters:
+            signature.params[name] = parse_cached(parameters[name])
+        else:
+            signature.params[name] = None
+    if "return" in function.annotations:
+        signature.ret_declared = parse_cached(function.annotations["return"])
+        signature.ret = signature.ret_declared
+    is_units_module = summary.module is not None and (
+        summary.module == "units" or summary.module.endswith(".units")
+    )
+    if is_units_module and qualname in dimensions:
+        signature.ret = parse_cached(dimensions[qualname])
+        signature.fixed = True
+    return signature
+
+
+def build_project(summaries: List[ModuleSummary]) -> ProjectContext:
+    """Link summaries and run the return-dimension fixpoint."""
+    tables = load_unit_tables()
+    table = SymbolTable(summaries)
+    graph = CallGraph(table)
+    project = ProjectContext(
+        summaries=summaries, table=table, graph=graph, tables=tables
+    )
+    parameters = tables.get("parameters", {})
+    dimensions = tables.get("dimensions", {})
+    for summary in summaries:
+        if summary.module is None:
+            continue
+        for qualname in summary.functions:
+            project.signatures[f"{summary.module}.{qualname}"] = (
+                _seed_signature(summary, qualname, parameters, dimensions)
+            )
+    _propagate_returns(project)
+    return project
+
+
+def _propagate_returns(project: ProjectContext) -> None:
+    """Fill unknown return dimensions from bodies until stable."""
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            lookup = project.ret_lookup(summary)
+            for qualname, function in summary.functions.items():
+                fqn = f"{summary.module}.{qualname}"
+                signature = project.signatures[fqn]
+                if signature.fixed or signature.ret is not None:
+                    continue
+                if not function.returns:
+                    continue
+                dims = [
+                    eval_desc(desc, signature.params, lookup)
+                    for desc in function.returns
+                ]
+                concrete = [d for d in dims if isinstance(d, Dimension)]
+                if not concrete or len(concrete) != len(
+                    [d for d in dims if d is not None]
+                ):
+                    continue
+                first = concrete[0]
+                if all(d == first for d in concrete):
+                    signature.ret = first
+                    changed = True
+        if not changed:
+            return

@@ -1,0 +1,160 @@
+"""Rule: interprocedural unit flow (R6).
+
+The per-file unit rule (R1) catches ``resistance + power`` inside one
+expression; this rule catches the cross-module version of the same
+physics bug: passing a thermal resistance (K/W) where a heat-transfer
+coefficient (W/(m²·K)) is expected, returning Watts from a function
+annotated to return Kelvin, or mixing Kelvin- and Celsius-scale
+temperatures (``degC`` is a distinct pseudo-base-unit precisely so an
+offset scale cannot silently alias the absolute one).
+
+For every call site whose callee resolves in the project symbol table,
+each argument descriptor is evaluated in the caller's signature
+environment and compared against the callee's parameter dimension
+(annotation, naming table, or propagated).  Function bodies are also
+checked against their own declared ``quantity`` return annotation.
+Nothing is reported unless *both* sides evaluate to concrete
+dimensions, so unknowns stay silent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .core import Finding, ProjectRule, register
+from .dimensions import Dimension, parse_dimension
+from .signatures import eval_desc
+
+_KELVIN = parse_dimension("K")
+_CELSIUS = parse_dimension("degC")
+
+
+def _scale_hint(expected: Dimension, actual: Dimension) -> str:
+    if {expected, actual} == {_KELVIN, _CELSIUS}:
+        return (
+            "Kelvin and Celsius are different scales, not different "
+            "factors; convert with units.kelvin_to_celsius / "
+            "units.celsius_to_kelvin at the boundary"
+        )
+    return (
+        "convert the value explicitly or fix the unit annotation; "
+        "see repro.units.PARAMETER_DIMENSIONS for the expected names"
+    )
+
+
+@register
+class UnitFlowRule(ProjectRule):
+    """Flag dimension mismatches across call sites and returns."""
+
+    name = "unit-flow"
+    severity = "error"
+    description = (
+        "Interprocedural dimension mismatch: an argument, keyword, or "
+        "return value whose inferred dimension disagrees with the "
+        "callee's parameter or the function's declared return unit."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            lookup = project.ret_lookup(summary)
+            for qualname, function in summary.functions.items():
+                caller_fqn = f"{summary.module}.{qualname}"
+                caller_sig = project.signatures.get(caller_fqn)
+                env = caller_sig.params if caller_sig is not None else {}
+                for call in function.calls:
+                    callee_fqn = project.table.resolve(summary, call.callee)
+                    if callee_fqn is None or callee_fqn == caller_fqn:
+                        continue
+                    callee_sig = project.signatures.get(callee_fqn)
+                    if callee_sig is None:
+                        continue
+                    yield from self._check_call(
+                        summary, call, callee_fqn, callee_sig, env, lookup
+                    )
+                if caller_sig is None or not caller_sig.fixed:
+                    yield from self._check_adds(
+                        summary, function, env, lookup
+                    )
+                yield from self._check_returns(
+                    summary, function, caller_sig, env, lookup
+                )
+
+    def _check_call(
+        self, summary, call, callee_fqn, callee_sig, env, lookup
+    ) -> Iterator[Finding]:
+        offset = 1 if callee_sig.param_at(0) in ("self", "cls") else 0
+        pairs = [
+            (callee_sig.param_at(index + offset), desc)
+            for index, desc in enumerate(call.args)
+        ]
+        pairs += [(name, desc) for name, desc in call.kwargs.items()]
+        for param, desc in pairs:
+            if param is None:
+                continue
+            expected = callee_sig.param_dim(param)
+            if expected is None:
+                continue
+            actual = eval_desc(desc, env, lookup)
+            if not isinstance(actual, Dimension) or actual == expected:
+                continue
+            yield self.project_finding(
+                path=summary.path,
+                line=call.line,
+                col=call.col,
+                message=(
+                    f"argument {param!r} of {callee_fqn}() has dimension "
+                    f"{actual}, but the parameter expects {expected}"
+                ),
+                hint=_scale_hint(expected, actual),
+            )
+
+    def _check_adds(
+        self, summary, function, env, lookup
+    ) -> Iterator[Finding]:
+        for site in function.adds:
+            left = eval_desc(site.left, env, lookup)
+            right = eval_desc(site.right, env, lookup)
+            if (
+                not isinstance(left, Dimension)
+                or not isinstance(right, Dimension)
+                or left == right
+            ):
+                continue
+            yield self.project_finding(
+                path=summary.path,
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"'{site.op}' combines quantities of dimension "
+                    f"{left} and {right} in {function.qualname}()"
+                ),
+                hint=_scale_hint(left, right),
+            )
+
+    def _check_returns(
+        self, summary, function, caller_sig, env, lookup
+    ) -> Iterator[Finding]:
+        if (
+            caller_sig is None
+            or caller_sig.fixed
+            or caller_sig.ret_declared is None
+        ):
+            return
+        declared = caller_sig.ret_declared
+        for desc in function.returns:
+            actual = eval_desc(desc, env, lookup)
+            if not isinstance(actual, Dimension) or actual == declared:
+                continue
+            yield self.project_finding(
+                path=summary.path,
+                line=function.line,
+                col=function.col,
+                message=(
+                    f"{function.qualname}() is annotated to return "
+                    f"{declared} but a return expression has dimension "
+                    f"{actual}"
+                ),
+                hint=_scale_hint(declared, actual),
+            )

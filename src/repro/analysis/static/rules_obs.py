@@ -1,0 +1,172 @@
+"""Rule: observability-name taxonomy (R8).
+
+A misspelled metric name does not crash — it silently splits one
+counter into two, and the dashboard that sums ``solver.steady.solves``
+never notices the stray ``solver.steady.solve_count``.  This rule
+enforces the DESIGN.md §7 registry (:mod:`repro.obs.taxonomy`) at
+analysis time: every string literal handed to ``span(...)``,
+``counter(...)``, ``gauge(...)``, or ``histogram(...)`` must be a
+registered name, and dynamically-built (f-string) names must start
+with a registered prefix.
+
+A second check catches the leak-shaped misuse: ``obs.span(...)``
+opened outside a ``with`` statement returns a context manager nobody
+is guaranteed to close, so the span never records its end time (and
+every child span re-parents wrongly).
+
+Scope: only files that resolve to modules inside the ``repro`` package
+are checked — the taxonomy governs the library's own instrumentation,
+not test or example code, which may open ad-hoc spans freely.  The
+``repro.obs`` package itself is exempt (its implementation necessarily
+handles arbitrary names).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from .callgraph import module_name_for
+from .core import Finding, Rule, SourceFile, register
+
+_SPAN_FUNCS = frozenset({"span"})
+_METRIC_FUNCS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _fstring_prefix(node: ast.JoinedStr) -> str:
+    """Leading literal text of an f-string ('' if it opens dynamic)."""
+    if node.values and isinstance(node.values[0], ast.Constant):
+        value = node.values[0].value
+        if isinstance(value, str):
+            return value
+    return ""
+
+
+@register
+class ObsTaxonomyRule(Rule):
+    """Flag unregistered span/metric names and unclosed spans."""
+
+    name = "obs-taxonomy"
+    severity = "error"
+    description = (
+        "A span or metric name that the repro.obs.taxonomy registry "
+        "does not know (misspellings silently split time series), or "
+        "a span opened outside a with-statement."
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        module = module_name_for(source.path)
+        if module is None or not (
+            module == "repro" or module.startswith("repro.")
+        ):
+            return
+        if module.startswith("repro.obs"):
+            return
+        from ...obs import taxonomy
+
+        with_calls = self._with_context_calls(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _SPAN_FUNCS:
+                yield from self._check_span(
+                    source, node, taxonomy, with_calls
+                )
+            elif name in _METRIC_FUNCS:
+                yield from self._check_metric(source, node, taxonomy)
+
+    @staticmethod
+    def _with_context_calls(tree: ast.Module) -> Set[int]:
+        """ids of Call nodes used directly as a with-item context."""
+        ids: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        ids.add(id(item.context_expr))
+        return ids
+
+    def _check_span(
+        self, source, node, taxonomy, with_calls
+    ) -> Iterator[Finding]:
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not taxonomy.known_span(arg.value):
+                yield self.finding(
+                    source,
+                    node,
+                    f"span name {arg.value!r} is not in the "
+                    "repro.obs.taxonomy registry",
+                    hint=(
+                        "register it in repro/obs/taxonomy.py "
+                        "SPAN_NAMES (and DESIGN.md §7), or fix the "
+                        "spelling to match an existing span"
+                    ),
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            yield self.finding(
+                source,
+                node,
+                "span name is built dynamically; the taxonomy cannot "
+                "verify it",
+                hint="use a registered literal span name",
+                severity="warning",
+            )
+        if id(node) not in with_calls:
+            yield self.finding(
+                source,
+                node,
+                "span opened outside a with-statement may return "
+                "without closing, losing its duration and re-parenting "
+                "child spans",
+                hint="wrap the call: with obs.span(...) as s: ...",
+                severity="warning",
+            )
+
+    def _check_metric(self, source, node, taxonomy) -> Iterator[Finding]:
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not taxonomy.known_metric(arg.value):
+                yield self.finding(
+                    source,
+                    node,
+                    f"metric name {arg.value!r} is not in the "
+                    "repro.obs.taxonomy registry",
+                    hint=(
+                        "register it in repro/obs/taxonomy.py "
+                        "METRIC_NAMES (and DESIGN.md §7), or fix the "
+                        "spelling — a stray name silently splits the "
+                        "time series"
+                    ),
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            prefix = _fstring_prefix(arg)
+            if not prefix or not any(
+                prefix.startswith(p) or p.startswith(prefix)
+                for p in taxonomy.METRIC_PREFIXES
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "dynamic metric name does not start with a "
+                    "registered prefix",
+                    hint=(
+                        "add the prefix to repro.obs.taxonomy."
+                        "METRIC_PREFIXES or use a literal name"
+                    ),
+                    severity="warning",
+                )

@@ -1,0 +1,273 @@
+"""Function dimension signatures and the symbolic descriptor language.
+
+The interprocedural pass cannot keep every AST in memory (analysis
+results are cached per file and re-loaded on warm runs), so local
+extraction compiles each function's dimensional behaviour down to
+small JSON-serializable *descriptors*:
+
+``["dim", "W/(m*K)"]``
+    a concrete dimension, known locally (a ``units.py`` constant, a
+    known attribute, arithmetic over known quantities);
+``["num"]``
+    a bare numeric literal — dimensionless under ``*``/``/`` (scaling
+    never changes a dimension) but a wildcard under ``+``/``-`` (the
+    literal's unit is unknowable, so nothing is flagged);
+``["param", name]``
+    the dimension of the enclosing function's parameter ``name``;
+``["ret", dotted]``
+    the return dimension of a call to ``dotted`` (resolved against the
+    project symbol table during the fixpoint);
+``["mul"|"div", a, b]`` and ``["pow", a, n]``
+    dimensional arithmetic over sub-descriptors;
+``["unknown"]``
+    no information — never produces a finding.
+
+:class:`SymbolicInferer` builds descriptors from expressions (the
+interprocedural cousin of the per-file rule's local inferer), and
+:class:`FunctionSignature` holds the per-parameter and return
+dimensions seeded from three sources, strongest first: explicit
+``Annotated[..., units.quantity("...")]`` annotations, the
+:data:`repro.units.PARAMETER_DIMENSIONS` naming table, and — during
+the fixpoint in :mod:`.interp` — dimensions propagated from return
+expressions through call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from .dimensions import DIMENSIONLESS, Dimension, DimensionError, parse_dimension
+
+#: JSON-serializable descriptor (nested lists of strings/ints).
+Desc = List[object]
+
+UNKNOWN: Desc = ["unknown"]
+NUM: Desc = ["num"]
+
+
+class _Numeric:
+    """Sentinel: a bare number (dimensionless under *, wildcard under +)."""
+
+    def __repr__(self) -> str:
+        return "NUMERIC"
+
+
+NUMERIC = _Numeric()
+
+#: What descriptor evaluation can produce.
+EvalResult = Union[Dimension, _Numeric, None]
+
+_PARSE_CACHE: Dict[str, Optional[Dimension]] = {}
+
+
+def parse_cached(text: str) -> Optional[Dimension]:
+    """Parse a unit string, returning None (not raising) on bad input."""
+    if text not in _PARSE_CACHE:
+        try:
+            _PARSE_CACHE[text] = parse_dimension(text)
+        except DimensionError:
+            _PARSE_CACHE[text] = None
+    return _PARSE_CACHE[text]
+
+
+def dim_desc(unit_text: str) -> Desc:
+    return ["dim", unit_text]
+
+
+def eval_desc(
+    desc: Desc,
+    param_env: Dict[str, Optional[Dimension]],
+    ret_lookup: Callable[[str], Optional[Dimension]],
+) -> EvalResult:
+    """Evaluate a descriptor to a dimension (or NUMERIC, or None)."""
+    kind = desc[0]
+    if kind == "dim":
+        return parse_cached(str(desc[1]))
+    if kind == "num":
+        return NUMERIC
+    if kind == "param":
+        return param_env.get(str(desc[1]))
+    if kind == "ret":
+        return ret_lookup(str(desc[1]))
+    if kind in ("mul", "div"):
+        left = eval_desc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        right = eval_desc(desc[2], param_env, ret_lookup)  # type: ignore[arg-type]
+        if left is None or right is None:
+            return None
+        if isinstance(left, _Numeric) and isinstance(right, _Numeric):
+            return NUMERIC
+        left_dim = DIMENSIONLESS if isinstance(left, _Numeric) else left
+        right_dim = DIMENSIONLESS if isinstance(right, _Numeric) else right
+        return left_dim * right_dim if kind == "mul" else left_dim / right_dim
+    if kind == "pow":
+        base = eval_desc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        if base is None or isinstance(base, _Numeric):
+            return base
+        return base ** int(desc[2])  # type: ignore[arg-type]
+    return None
+
+
+@dataclass
+class FunctionSignature:
+    """Inferred dimensions of one function's parameters and return."""
+
+    param_order: List[str] = field(default_factory=list)
+    params: Dict[str, Optional[Dimension]] = field(default_factory=dict)
+    ret: Optional[Dimension] = None
+    #: The dimension declared by a ``quantity`` return annotation (when
+    #: present, ``ret`` starts from it and R6 verifies the body agrees).
+    ret_declared: Optional[Dimension] = None
+    #: Fixed signatures (the units.py conversion constructors) are
+    #: exempt from body re-inference: an offset conversion *must* mix
+    #: scales internally, that is its job.
+    fixed: bool = False
+
+    def param_at(self, index: int) -> Optional[str]:
+        if 0 <= index < len(self.param_order):
+            return self.param_order[index]
+        return None
+
+    def param_dim(self, name: str) -> Optional[Dimension]:
+        return self.params.get(name)
+
+
+class SymbolicInferer:
+    """Compile expressions to descriptors inside one function body.
+
+    Mirrors the sequential-assignment environment of the per-file
+    unit rule, but emits symbolic descriptors instead of concrete
+    dimensions so parameter and call dimensions can be filled in later
+    by the interprocedural fixpoint.
+    """
+
+    def __init__(
+        self,
+        symbols: Dict[str, str],
+        attributes: Dict[str, str],
+        params: List[str],
+    ) -> None:
+        self.symbols = symbols          # units.DIMENSIONS (name -> unit text)
+        self.attributes = attributes    # units.ATTRIBUTE_DIMENSIONS
+        self.params = set(params)
+        self.env: Dict[str, Desc] = {}
+
+    def infer(self, node: ast.AST) -> Desc:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in self.params:
+                return ["param", node.id]
+            if node.id in self.symbols:
+                return dim_desc(self.symbols[node.id])
+            return UNKNOWN
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool
+            ):
+                return NUM
+            return UNKNOWN
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.symbols:
+                # units constants reached through any module alias
+                return dim_desc(self.symbols[node.attr])
+            if node.attr in self.attributes:
+                return dim_desc(self.attributes[node.attr])
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.UAdd, ast.USub)
+        ):
+            return self.infer(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body == orelse else UNKNOWN
+        return UNKNOWN
+
+    def _infer_call(self, node: ast.Call) -> Desc:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in self.symbols:
+            return dim_desc(self.symbols[name])
+        if name in ("abs", "float", "min", "max") and node.args:
+            return self.infer(node.args[0])
+        dotted = _dotted(func)
+        if dotted is not None:
+            return ["ret", dotted]
+        return UNKNOWN
+
+    def _infer_binop(self, node: ast.BinOp) -> Desc:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            if left == UNKNOWN or right == UNKNOWN:
+                return UNKNOWN
+            kind = "mul" if isinstance(node.op, ast.Mult) else "div"
+            folded = _fold(kind, left, right)
+            return folded if folded is not None else [kind, left, right]
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            # the sum of same-dimension quantities keeps that dimension;
+            # a bare literal adapts to the other side
+            if left == NUM:
+                return right
+            if right == NUM:
+                return left
+            if left == right and left != UNKNOWN:
+                return left
+            return UNKNOWN
+        if isinstance(node.op, ast.Pow):
+            if (
+                left != UNKNOWN
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+            ):
+                return ["pow", left, node.right.value]
+            return UNKNOWN
+        return UNKNOWN
+
+    def bind(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            desc = self.infer(value)
+            if desc != UNKNOWN:
+                self.env[target.id] = desc
+            else:
+                self.env.pop(target.id, None)
+
+
+def _fold(kind: str, left: Desc, right: Desc) -> Optional[Desc]:
+    """Combine two locally-concrete descriptors eagerly (compactness)."""
+    value = eval_desc([kind, left, right], {}, lambda _name: None)
+    if isinstance(value, _Numeric):
+        return NUM
+    if isinstance(value, Dimension):
+        return dim_desc(str(value))
+    concrete = {"dim", "num"}
+    if left[0] in concrete and right[0] in concrete:
+        # both sides were concrete yet evaluation failed: bad unit text
+        return UNKNOWN
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def load_unit_tables() -> Dict[str, Dict[str, str]]:
+    """The units.py dimension tables (text form, JSON-able)."""
+    from ... import units
+
+    return units.signature_tables()

@@ -192,6 +192,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="omit fix-it hints from text output")
     analyze.add_argument("-o", "--output", default="-",
                          help="report destination ('-' = stdout)")
+    analyze.add_argument("-j", "--jobs", type=int, default=1,
+                         help="analyze files in N worker processes "
+                              "(1 = serial, default)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="disable the per-file analysis cache")
+    analyze.add_argument("--cache-dir", default=None,
+                         help="analysis cache directory (default: "
+                              "$REPRO_ANALYZE_CACHE_DIR or "
+                              "~/.cache/repro-analyze)")
+    analyze.add_argument("--diff", default=None, metavar="REF",
+                         help="report findings only in files changed "
+                              "since the merge base with REF (the whole "
+                              "project is still linked)")
+    analyze.add_argument("--changed-only", action="store_true",
+                         help="report findings only in files with "
+                              "uncommitted or untracked changes")
 
     cstatus = csub.add_parser(
         "status", help="show result-cache contents and manifest summaries"
@@ -495,8 +511,16 @@ def cmd_analyze(args) -> int:
     if baseline_path is not None and not args.write_baseline:
         baseline = static_analysis.Baseline.load(baseline_path)
 
+    if args.write_baseline and (args.diff or args.changed_only):
+        print("error: --write-baseline needs a full run, not --diff/"
+              "--changed-only", file=sys.stderr)
+        return 2
+
     result = static_analysis.analyze_paths(
-        args.paths, rule_names=rule_names, baseline=baseline
+        args.paths, rule_names=rule_names, baseline=baseline,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        changed_only=args.changed_only, diff_ref=args.diff,
     )
 
     if args.write_baseline:

@@ -19,17 +19,23 @@ laminar formula to a turbulent flow.
 
 from __future__ import annotations
 
+from typing import Annotated
+
 import numpy as np
 
 from ..errors import ConvectionError
 from ..materials import Fluid
-from ..units import require_positive
+from ..units import quantity, require_positive
 
 #: Transition Reynolds number for flow over a smooth flat plate.
 LAMINAR_TRANSITION_REYNOLDS = 5.0e5
 
 
-def reynolds(velocity: float, length: float, fluid: Fluid) -> float:
+def reynolds(
+    velocity: Annotated[float, quantity("m/s")],
+    length: Annotated[float, quantity("m")],
+    fluid: Fluid,
+) -> float:
     """Reynolds number ``Re = v L / nu`` at distance/length ``length``."""
     require_positive("velocity", velocity)
     require_positive("length", length)
@@ -46,8 +52,10 @@ def _check_laminar(re_l: float) -> None:
 
 
 def average_heat_transfer_coefficient(
-    velocity: float, length: float, fluid: Fluid
-) -> float:
+    velocity: Annotated[float, quantity("m/s")],
+    length: Annotated[float, quantity("m")],
+    fluid: Fluid,
+) -> Annotated[float, quantity("W/(m^2*K)")]:
     """Overall ``h_L`` over a plate of length ``length`` (paper Eqn 2).
 
     ``h_L = 0.664 (k / L) Re_L^0.5 Pr^(1/3)`` in W/(m^2 K).
@@ -59,8 +67,11 @@ def average_heat_transfer_coefficient(
 
 
 def local_heat_transfer_coefficient(
-    velocity: float, x, fluid: Fluid, plate_length: float
-) -> np.ndarray:
+    velocity: Annotated[float, quantity("m/s")],
+    x,
+    fluid: Fluid,
+    plate_length: Annotated[float, quantity("m")],
+) -> Annotated[np.ndarray, quantity("W/(m^2*K)")]:
     """Local ``h(x)`` at distance ``x`` from the leading edge (Eqn 8).
 
     ``h(x) = 0.332 (k / x) Re_x^0.5 Pr^(1/3)``.  ``x`` may be an array.
@@ -78,8 +89,10 @@ def local_heat_transfer_coefficient(
 
 
 def thermal_boundary_layer_thickness(
-    velocity: float, length: float, fluid: Fluid
-) -> float:
+    velocity: Annotated[float, quantity("m/s")],
+    length: Annotated[float, quantity("m")],
+    fluid: Fluid,
+) -> Annotated[float, quantity("m")]:
     """Thermal boundary layer thickness ``delta_t`` at the trailing edge
     (paper Eqn 4): ``4.91 L / (Pr^(1/3) sqrt(Re_L))`` in meters.
     """
@@ -89,8 +102,11 @@ def thermal_boundary_layer_thickness(
 
 
 def convection_resistance(
-    velocity: float, length: float, area: float, fluid: Fluid
-) -> float:
+    velocity: Annotated[float, quantity("m/s")],
+    length: Annotated[float, quantity("m")],
+    area: Annotated[float, quantity("m^2")],
+    fluid: Fluid,
+) -> Annotated[float, quantity("K/W")]:
     """Overall convection resistance ``Rconv = 1 / (h_L A)`` (Eqn 1), K/W."""
     require_positive("area", area)
     h_l = average_heat_transfer_coefficient(velocity, length, fluid)
@@ -98,8 +114,11 @@ def convection_resistance(
 
 
 def convection_capacitance(
-    velocity: float, length: float, area: float, fluid: Fluid
-) -> float:
+    velocity: Annotated[float, quantity("m/s")],
+    length: Annotated[float, quantity("m")],
+    area: Annotated[float, quantity("m^2")],
+    fluid: Fluid,
+) -> Annotated[float, quantity("J/K")]:
     """Effective oil thermal capacitance ``C = rho c_p A delta_t``
     (Eqn 3), J/K.
     """

@@ -42,6 +42,7 @@ from .export import (
     write_spans_jsonl,
 )
 from .logsetup import logging_setup, verbosity_level
+from .taxonomy import METRIC_NAMES, METRIC_PREFIXES, SPAN_NAMES, known_metric, known_span
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -101,9 +102,12 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
     "Histogram",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "SPAN_NAMES",
     "Snapshot",
     "Span",
     "Tracer",
@@ -112,6 +116,8 @@ __all__ = [
     "disable_tracing",
     "enable_tracing",
     "flatten_snapshot",
+    "known_metric",
+    "known_span",
     "logging_setup",
     "metrics",
     "read_trace_file",

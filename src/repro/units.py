@@ -28,9 +28,12 @@ DIMENSIONS = {
     # constants
     "ZERO_CELSIUS_IN_KELVIN": "K",
     "DEFAULT_AMBIENT_KELVIN": "K",
-    # constructors: the dimension of the *return value*
+    # constructors: the dimension of the *return value*.  ``degC`` is
+    # the analyzer's pseudo-dimension for the Celsius scale — Kelvin
+    # and Celsius differ by an offset, so mixing them is flagged like
+    # any other dimension mismatch.
     "celsius_to_kelvin": "K",
-    "kelvin_to_celsius": "K",
+    "kelvin_to_celsius": "degC",
     "mm": "m",
     "um": "m",
 }
@@ -60,6 +63,81 @@ ATTRIBUTE_DIMENSIONS = {
     "die_height": "m",
     "area": "m^2",
 }
+
+#: Dimensions of well-known *parameter* names: the interprocedural
+#: analyzer (:mod:`repro.analysis.static.signatures`) seeds function
+#: dimension signatures from these when a parameter carries no explicit
+#: :func:`quantity` annotation.  Only names whose meaning is unambiguous
+#: across this codebase belong here — a generic name (``x``, ``value``,
+#: ``scale``) would cause false positives.
+PARAMETER_DIMENSIONS = {
+    "temp_c": "degC",
+    "ambient_c": "degC",
+    "temp_k": "K",
+    "ambient_k": "K",
+    "ambient": "K",
+    "velocity": "m/s",
+    "area": "m^2",
+    "conductivity": "W/(m*K)",
+    "specific_heat": "J/(kg*K)",
+    "density": "kg/m^3",
+    "kinematic_viscosity": "m^2/s",
+    "heat_transfer_coefficient": "W/(m^2*K)",
+    "convection_resistance": "K/W",
+    "target_resistance": "K/W",
+    "total_resistance": "K/W",
+    "silicon_resistance": "K/W",
+    "die_width": "m",
+    "die_height": "m",
+    "plate_length": "m",
+    "length": "m",
+    "thickness": "m",
+    "capacitance": "J/K",
+    "silicon_cap": "J/K",
+    "sink_cap": "J/K",
+    "oil_cap": "J/K",
+    "total_capacitance": "J/K",
+    "conductance": "W/K",
+    "power": "W",
+}
+
+#: Prefix that :func:`quantity` attaches to its unit string inside
+#: ``typing.Annotated`` metadata, so annotations survive as plain
+#: strings at runtime while remaining recognizable to the analyzer.
+QUANTITY_PREFIX = "unit:"
+
+
+def quantity(unit: str) -> str:
+    """Declare the physical unit of an annotated value.
+
+    Used inside ``typing.Annotated`` to give a parameter or return
+    value a machine-checkable dimension::
+
+        def convection_resistance(
+            area: Annotated[float, quantity("m^2")], ...
+        ) -> Annotated[float, quantity("K/W")]: ...
+
+    At runtime this is just a tagged string (``Annotated[float, ...]``
+    behaves as ``float``); the static analyzer parses the unit with
+    :mod:`repro.analysis.static.dimensions` and verifies both the
+    function body and every call site against it.
+    """
+    return f"{QUANTITY_PREFIX}{unit}"
+
+
+def signature_tables() -> dict:
+    """The machine-readable dimension tables, as one mapping.
+
+    Export helper for the static analyzer: bundles every table that
+    contributes to dimension-signature inference, so the analyzer's
+    cache can fingerprint them (edits here must invalidate cached
+    per-file analysis results).
+    """
+    return {
+        "dimensions": dict(DIMENSIONS),
+        "attributes": dict(ATTRIBUTE_DIMENSIONS),
+        "parameters": dict(PARAMETER_DIMENSIONS),
+    }
 
 #: Offset between the Kelvin and Celsius scales.
 ZERO_CELSIUS_IN_KELVIN = 273.15

@@ -1,0 +1,4 @@
+"""A deliberately unparseable file: the analyzer must report it as a
+parse-error finding instead of aborting the whole run."""
+
+def truncated(

@@ -1,0 +1,7 @@
+"""Seeded cross-module unit bug for the interprocedural analyzer tests.
+
+The wrapper directory (``interp_proj``) is deliberately not a package,
+so :func:`repro.analysis.static.callgraph.module_name_for` resolves
+these files as ``interp_pkg.*`` and absolute imports between them link
+in the symbol table.
+"""

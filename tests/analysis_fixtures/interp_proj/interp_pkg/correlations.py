@@ -1,0 +1,27 @@
+"""Annotated correlation helpers the model module calls across files."""
+
+from typing import Annotated
+
+from repro.units import quantity
+
+
+def _calibration(speed, extent):
+    # opaque to the analyzer: neutral names carry no seeded dimension,
+    # so the return dimension stays unknown
+    return abs(speed) + abs(extent)
+
+
+def film_coefficient(
+    velocity: Annotated[float, quantity("m/s")],
+    plate_length: Annotated[float, quantity("m")],
+) -> Annotated[float, quantity("W/(m^2*K)")]:
+    """Toy overall-h correlation (body intentionally opaque)."""
+    return _calibration(velocity, plate_length)
+
+
+def unit_conductance(
+    heat_transfer_coefficient: Annotated[float, quantity("W/(m^2*K)")],
+    area: Annotated[float, quantity("m^2")],
+) -> Annotated[float, quantity("W/K")]:
+    """Surface conductance ``h * A`` in W/K."""
+    return heat_transfer_coefficient * area

@@ -1,0 +1,30 @@
+"""Uses the correlations — with the classic resistance-for-h swap.
+
+The bug is invisible to any single-file rule: each file is internally
+consistent, and only linking ``unit_conductance``'s signature from
+``correlations.py`` against this call site reveals that a K/W
+resistance is being passed where a W/(m^2*K) coefficient belongs.
+"""
+
+from typing import Annotated
+
+from repro.units import quantity
+
+from interp_pkg.correlations import film_coefficient, unit_conductance
+
+
+def sink_conductance(
+    convection_resistance: Annotated[float, quantity("K/W")],
+    area: Annotated[float, quantity("m^2")],
+) -> float:
+    # BUG: hands the lumped resistance to the per-area-coefficient slot
+    return unit_conductance(convection_resistance, area)
+
+
+def correct_conductance(
+    velocity: Annotated[float, quantity("m/s")],
+    plate_length: Annotated[float, quantity("m")],
+    area: Annotated[float, quantity("m^2")],
+) -> float:
+    coefficient = film_coefficient(velocity, plate_length)
+    return unit_conductance(coefficient, area)

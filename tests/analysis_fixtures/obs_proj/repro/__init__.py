@@ -1,0 +1,4 @@
+"""Mini ``repro`` package so the obs-taxonomy rule treats the fixture
+files as library code (the rule only checks modules under ``repro``).
+The wrapper directory (``obs_proj``) is deliberately not a package.
+"""

@@ -1,0 +1,14 @@
+"""R8 positive fixture: taxonomy violations in library-shaped code."""
+
+
+def solve(obs, registry, kind):
+    # BUG: misspelled metric -- splits 'solver.steady.solves' in two
+    registry.counter("solver.steady.solve_count").add(1)
+    # BUG: unknown span name (registered one is 'solver.steady.solve')
+    with obs.span("solver.steady.solvee"):
+        pass
+    # BUG: span opened outside a with-statement may never close
+    pending = obs.span("solver.steady.solve")
+    # BUG: dynamic metric name outside every registered prefix
+    registry.histogram(f"job.{kind}.seconds").observe(1.0)
+    return pending

@@ -1,0 +1,10 @@
+"""R8 negative fixture: every name registered, every span a with-item."""
+
+
+def solve(obs, registry, op):
+    registry.counter("solver.steady.solves").add(1)
+    with obs.span("solver.steady.solve"):
+        registry.histogram("solver.steady.solve_seconds").observe(0.01)
+    registry.counter(f"campaign.cache.{op}").add(1)
+    with obs.span("campaign.cache.probe") as span:
+        span.set("hit", True)

@@ -1,0 +1,47 @@
+"""R6 negative fixture: the same shapes as the positive twin, correct.
+
+Every call, addition, and return is dimensionally consistent, so the
+unit-flow rule must stay silent.
+"""
+
+from typing import Annotated
+
+from repro import units
+from repro.units import quantity
+
+
+def convection_resistance_of(
+    heat_transfer_coefficient: Annotated[float, quantity("W/(m^2*K)")],
+    area: Annotated[float, quantity("m^2")],
+) -> Annotated[float, quantity("K/W")]:
+    return 1.0 / (heat_transfer_coefficient * area)
+
+
+def right_argument(
+    heat_transfer_coefficient: Annotated[float, quantity("W/(m^2*K)")],
+    area: Annotated[float, quantity("m^2")],
+) -> float:
+    return convection_resistance_of(heat_transfer_coefficient, area)
+
+
+def same_scale(
+    temp_k: Annotated[float, quantity("K")],
+    ambient_k: Annotated[float, quantity("K")],
+) -> float:
+    delta = temp_k - ambient_k
+    return delta
+
+
+def converted_scales(
+    temp_k: Annotated[float, quantity("K")],
+    ambient_c: Annotated[float, quantity("degC")],
+) -> float:
+    # converting first keeps both operands on the Kelvin scale
+    return temp_k - units.celsius_to_kelvin(ambient_c)
+
+
+def boundary_layer_area(
+    plate_length: Annotated[float, quantity("m")],
+    die_width: Annotated[float, quantity("m")],
+) -> Annotated[float, quantity("m^2")]:
+    return plate_length * die_width

@@ -1,0 +1,43 @@
+"""R6 positive fixture: dimension-flow mismatches inside one module.
+
+Each function contains exactly one seeded bug of a distinct kind the
+interprocedural pass checks: a call-argument mismatch, a mixed-scale
+addition (Kelvin + Celsius), and a return that contradicts the
+declared ``quantity`` annotation.
+"""
+
+from typing import Annotated
+
+from repro.units import quantity
+
+
+def convection_resistance_of(
+    heat_transfer_coefficient: Annotated[float, quantity("W/(m^2*K)")],
+    area: Annotated[float, quantity("m^2")],
+) -> Annotated[float, quantity("K/W")]:
+    return 1.0 / (heat_transfer_coefficient * area)
+
+
+def wrong_argument(
+    convection_resistance: Annotated[float, quantity("K/W")],
+    area: Annotated[float, quantity("m^2")],
+) -> float:
+    # BUG: passes the lumped resistance where the per-area coefficient
+    # belongs.
+    return convection_resistance_of(convection_resistance, area)
+
+
+def mixed_scales(
+    temp_k: Annotated[float, quantity("K")],
+    temp_c: Annotated[float, quantity("degC")],
+) -> float:
+    # BUG: adds a Kelvin temperature to a Celsius one.
+    delta = temp_k + temp_c
+    return delta
+
+
+def boundary_layer_area(
+    plate_length: Annotated[float, quantity("m")],
+) -> Annotated[float, quantity("m^2")]:
+    # BUG: returns a length where the annotation declares an area.
+    return 4.91 * plate_length

@@ -1,0 +1,27 @@
+"""R7 negative fixture: workers stay pure, the parent aggregates.
+
+The submitted function returns its value instead of mutating shared
+state; the module-level dict is only written by ``run_all``, which
+executes in the parent process, so the pool-safety rule must stay
+silent.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS = {}
+
+
+def work(job):
+    staging = {}
+    staging[job] = job * 2
+    history = []
+    history.append(job)
+    return staging[job]
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = {job: pool.submit(work, job) for job in jobs}
+    for job, future in futures.items():
+        RESULTS[job] = future.result()
+    return RESULTS

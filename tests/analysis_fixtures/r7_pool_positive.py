@@ -1,0 +1,36 @@
+"""R7 positive fixture: worker-reachable mutation of module state.
+
+``work`` is handed to ``pool.submit``; both it and the helper it calls
+mutate module-level containers, so the mutations happen in the worker
+process and silently never reach the parent.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS = {}
+HISTORY = []
+TOTAL = 0
+
+
+def _record(job, value):
+    RESULTS[job] = value
+    HISTORY.append(job)
+
+
+def _bump(value):
+    # BUG: the rebind happens in the worker's copy of this module
+    global TOTAL
+    TOTAL = TOTAL + value
+
+
+def work(job):
+    value = job * 2
+    _record(job, value)
+    _bump(value)
+    return value
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, job) for job in jobs]
+    return [future.result() for future in futures]

@@ -2,21 +2,32 @@
 
 Each rule gets at least one positive and one negative fixture under
 ``tests/analysis_fixtures/``; on top of that: dimension-algebra unit
-tests, pragma suppression, baseline round-trip/staleness, golden
-JSON + SARIF output, the CLI surface, the seeded PR-1 regression, and
-the self-check that ``src/`` is clean against the committed baseline.
+tests, pragma suppression (including R-aliases and unused-pragma
+notes), the v2 whole-program layer (symbol table, call graph,
+return-dimension fixpoint, the seeded cross-module unit bug), the
+analysis cache, parallel and git-diff modes, baseline round-trip/
+staleness, golden JSON + SARIF output, the CLI surface, the seeded
+PR-1 regression, and the self-check that ``src/`` is clean against the
+committed baseline.
 """
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.static import (
     Baseline,
+    CallGraph,
+    RULE_ALIASES,
     SourceFile,
+    SymbolTable,
     analyze_file,
     analyze_paths,
+    build_project,
+    canonical_rule_name,
+    extract_summary,
     format_json,
     format_sarif,
     format_text,
@@ -181,6 +192,372 @@ def test_pragma_suppresses_only_named_rule():
     assert [f.line for f in findings] == [3]
 
 
+# --- R6: interprocedural unit flow ------------------------------------------
+
+
+def test_r6_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r6_flow_positive.py")], rule_names=["unit-flow"]
+    )
+    assert len(result.findings) == 3
+    assert all(f.severity == "error" for f in result.findings)
+    messages = " | ".join(f.message for f in result.findings)
+    assert "argument 'heat_transfer_coefficient'" in messages
+    assert "K and degC" in messages
+    assert "annotated to return m^2" in messages
+    scale_hints = [f.hint for f in result.findings if "degC" in f.message]
+    assert all("celsius_to_kelvin" in hint for hint in scale_hints)
+
+
+def test_r6_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r6_flow_negative.py")], rule_names=["unit-flow"]
+    )
+    assert result.findings == []
+
+
+def test_r6_seeded_cross_module_bug_needs_the_interprocedural_pass():
+    """The K/W-for-W/(m^2*K) swap spans two files: only R6 sees it."""
+    flow = analyze_paths(
+        [str(FIXTURES / "interp_proj")], rule_names=["unit-flow"]
+    )
+    assert len(flow.findings) == 1
+    finding = flow.findings[0]
+    assert finding.rule == "unit-flow"
+    assert finding.path.endswith("model.py")
+    assert "unit_conductance" in finding.message
+    # every per-file rule stays silent: each file is locally consistent
+    per_file = analyze_paths(
+        [str(FIXTURES / "interp_proj")],
+        rule_names=[
+            "unit-consistency", "cache-invalidation", "hash-determinism",
+            "pickle-safety", "float-equality", "obs-taxonomy",
+        ],
+    )
+    assert per_file.findings == []
+
+
+# --- R7: pool worker state safety -------------------------------------------
+
+
+def test_r7_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r7_pool_positive.py")], rule_names=["pool-safety"]
+    )
+    assert len(result.findings) == 3
+    messages = " | ".join(f.message for f in result.findings)
+    assert "'RESULTS'" in messages
+    assert "'HISTORY'" in messages
+    assert "'TOTAL'" in messages
+    assert all("reachable from" in f.message for f in result.findings)
+    by_severity = {f.severity for f in result.findings}
+    assert by_severity == {"error", "warning"}  # global rebind is the error
+
+
+def test_r7_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r7_pool_negative.py")], rule_names=["pool-safety"]
+    )
+    assert result.findings == []
+
+
+# --- R8: observability taxonomy ---------------------------------------------
+
+
+def test_r8_positive_fixture():
+    source = SourceFile.from_path(
+        str(FIXTURES / "obs_proj" / "repro" / "instrumented_bad.py")
+    )
+    findings = analyze_file(source, make_rules(["obs-taxonomy"]))
+    assert len(findings) == 4
+    messages = " | ".join(f.message for f in findings)
+    assert "'solver.steady.solve_count'" in messages  # the misspelling
+    assert "'solver.steady.solvee'" in messages
+    assert "outside a with-statement" in messages
+    assert "dynamic metric name" in messages
+    errors = [f for f in findings if f.severity == "error"]
+    assert len(errors) == 2  # unknown names; the structural two warn
+
+
+def test_r8_negative_fixture():
+    source = SourceFile.from_path(
+        str(FIXTURES / "obs_proj" / "repro" / "instrumented_ok.py")
+    )
+    assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
+
+
+def test_r8_ignores_code_outside_the_repro_package():
+    code = 'def f(reg):\n    reg.counter("totally.unregistered").add(1)\n'
+    source = SourceFile("snippet.py", code)
+    assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
+
+
+# --- whole-program machinery ------------------------------------------------
+
+
+def _write_package(tmp_path, name, modules):
+    pkg = tmp_path / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""test package"""\n')
+    for module, text in modules.items():
+        (pkg / f"{module}.py").write_text(text)
+    paths = [str(pkg / "__init__.py")]
+    paths += [str(pkg / f"{module}.py") for module in sorted(modules)]
+    return [extract_summary(SourceFile.from_path(path)) for path in paths]
+
+
+def test_symbol_table_resolves_through_import_aliases(tmp_path):
+    summaries = _write_package(tmp_path, "toolpkg", {
+        "alpha": (
+            "from toolpkg.beta import helper as h\n\n\n"
+            "def entry(x):\n"
+            "    return h(x)\n"
+        ),
+        "beta": (
+            "def helper(x):\n"
+            "    return inner(x)\n\n\n"
+            "def inner(x):\n"
+            "    return x\n"
+        ),
+    })
+    alpha = next(s for s in summaries if s.path.endswith("alpha.py"))
+    assert alpha.module == "toolpkg.alpha"
+    table = SymbolTable(summaries)
+    assert table.resolve(alpha, "h") == "toolpkg.beta.helper"
+    graph = CallGraph(table)
+    reachable = graph.reachable_from(["toolpkg.alpha.entry"])
+    assert "toolpkg.beta.inner" in reachable
+    assert reachable["toolpkg.beta.inner"] == "toolpkg.alpha.entry"
+
+
+def test_fixpoint_propagates_return_dimensions_across_modules(tmp_path):
+    """An unannotated chain acquires its dimension from the leaf."""
+    summaries = _write_package(tmp_path, "fixpkg", {
+        "low": (
+            "from typing import Annotated\n\n"
+            "from repro.units import quantity\n\n\n"
+            'def span_length() -> Annotated[float, quantity("m")]:\n'
+            "    return 0.02\n"
+        ),
+        "mid": (
+            "from fixpkg.low import span_length\n\n\n"
+            "def doubled():\n"
+            "    return 2.0 * span_length()\n"
+        ),
+        "high": (
+            "from fixpkg.mid import doubled\n\n\n"
+            "def quadrupled():\n"
+            "    return 2.0 * doubled()\n"
+        ),
+    })
+    project = build_project(summaries)
+    meter = parse_dimension("m")
+    assert project.signatures["fixpkg.low.span_length"].ret == meter
+    assert project.signatures["fixpkg.mid.doubled"].ret == meter
+    assert project.signatures["fixpkg.high.quadrupled"].ret == meter
+
+
+# --- rule aliases and unused pragmas ----------------------------------------
+
+
+def test_rule_aliases_select_and_canonicalize():
+    assert canonical_rule_name("R6") == "unit-flow"
+    assert canonical_rule_name("unit-flow") == "unit-flow"
+    assert {rule.name for rule in make_rules(["R6", "R7"])} == {
+        "unit-flow", "pool-safety",
+    }
+    assert RULE_ALIASES["R1"] == "unit-consistency"
+
+
+def test_alias_pragmas_and_unused_pragma_notes(tmp_path):
+    target = tmp_path / "pragmas.py"
+    target.write_text(
+        "def f(x):\n"
+        "    a = x == 1.5  # repro-ok: R5\n"
+        "    b = x == 2.5\n"
+        "    c = 1.0  # repro-ok: R5\n"
+        "    d = 2.0  # repro-ok\n"
+        "    return a, b, c, d\n"
+    )
+    full = analyze_paths([str(target)])
+    by_rule = {}
+    for finding in full.findings:
+        by_rule.setdefault(finding.rule, []).append(finding.line)
+    assert by_rule["float-equality"] == [3]  # line 2 suppressed via alias
+    assert sorted(by_rule["unused-pragma"]) == [4, 5]
+    notes = [f for f in full.findings if f.rule == "unused-pragma"]
+    assert all(f.severity == "note" for f in notes)
+
+
+def test_unused_bare_pragma_not_judged_on_partial_runs(tmp_path):
+    """A bare pragma can only be called unused when every rule ran."""
+    target = tmp_path / "pragmas.py"
+    target.write_text(
+        "def f(x):\n"
+        "    c = 1.0  # repro-ok: R5\n"
+        "    d = 2.0  # repro-ok\n"
+        "    return c, d\n"
+    )
+    partial = analyze_paths([str(target)], rule_names=["float-equality"])
+    unused = [f.line for f in partial.findings if f.rule == "unused-pragma"]
+    assert unused == [2]  # the named one ran; the bare one is unprovable
+
+
+def test_pragma_mentions_in_strings_are_not_pragmas(tmp_path):
+    target = tmp_path / "docs.py"
+    target.write_text(
+        'MESSAGE = "suppress with # repro-ok: R5 on the line"\n\n\n'
+        "def f():\n"
+        '    """Docs may say # repro-ok freely."""\n'
+        "    return MESSAGE\n"
+    )
+    full = analyze_paths([str(target)])
+    assert [f for f in full.findings if f.rule == "unused-pragma"] == []
+
+
+# --- broken and unreadable files --------------------------------------------
+
+
+def test_broken_file_is_a_finding_not_an_abort():
+    result = analyze_paths([
+        str(FIXTURES / "broken_syntax.py"),
+        str(FIXTURES / "r5_float_positive.py"),
+    ])
+    assert result.files_analyzed == 2
+    fired = rules_fired(result.findings)
+    assert "parse-error" in fired  # the broken file is reported...
+    assert "float-equality" in fired  # ...and the healthy one still runs
+    parse_errors = [f for f in result.findings if f.rule == "parse-error"]
+    assert len(parse_errors) == 1
+    assert parse_errors[0].path.endswith("broken_syntax.py")
+    assert parse_errors[0].severity == "error"
+    assert result.fails("error")
+
+
+def test_unreadable_file_is_a_finding_not_an_abort(tmp_path):
+    bad = tmp_path / "not_utf8.py"
+    bad.write_bytes(b"\x80\x81\x82 this is not utf-8")
+    good = tmp_path / "fine.py"
+    good.write_text("def f(x):\n    return x == 1.5\n")
+    result = analyze_paths([str(bad), str(good)])
+    fired = rules_fired(result.findings)
+    assert "unreadable-file" in fired
+    assert "float-equality" in fired
+
+
+# --- analysis cache ---------------------------------------------------------
+
+
+def test_cache_hit_then_content_invalidation(tmp_path):
+    target = tmp_path / "cached_mod.py"
+    target.write_text("def f(x):\n    return x == 1.5\n")
+    cache_dir = str(tmp_path / "cache")
+
+    cold = analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    assert cold.cache_hits == 0
+    assert len(cold.findings) == 1
+
+    warm = analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    assert warm.cache_hits == 1
+    assert [f.message for f in warm.findings] == \
+        [f.message for f in cold.findings]
+
+    target.write_text("def f(x):\n    return x == 1.5 or x == 2.5\n")
+    edited = analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    assert edited.cache_hits == 0  # content hash changed
+    assert len(edited.findings) == 2
+
+
+def test_project_rules_fire_from_cached_summaries(tmp_path):
+    """Whole-program findings must survive a 100% per-file cache hit."""
+    import shutil
+
+    target = tmp_path / "r6_cached.py"
+    shutil.copyfile(str(FIXTURES / "r6_flow_positive.py"), str(target))
+    cache_dir = str(tmp_path / "cache")
+    cold = analyze_paths([str(target)], rule_names=["unit-flow"],
+                         use_cache=True, cache_dir=cache_dir)
+    warm = analyze_paths([str(target)], rule_names=["unit-flow"],
+                         use_cache=True, cache_dir=cache_dir)
+    assert warm.cache_hits == 1
+    assert len(cold.findings) == len(warm.findings) == 3
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    target = tmp_path / "cached_mod.py"
+    target.write_text("def f(x):\n    return x == 1.5\n")
+    cache_dir = tmp_path / "cache"
+    analyze_paths([str(target)], use_cache=True, cache_dir=str(cache_dir))
+    for entry in cache_dir.rglob("*.json"):
+        entry.write_text("{ not json")
+    again = analyze_paths([str(target)], use_cache=True,
+                          cache_dir=str(cache_dir))
+    assert again.cache_hits == 0
+    assert len(again.findings) == 1
+
+
+# --- parallel mode ----------------------------------------------------------
+
+
+def test_parallel_jobs_match_serial_results():
+    targets = [
+        str(FIXTURES / name)
+        for name in ("r5_float_positive.py", "r2_cache_positive.py",
+                     "r6_flow_positive.py", "r7_pool_positive.py")
+    ]
+
+    def key(finding):
+        return (finding.path, finding.line, finding.rule, finding.message)
+
+    serial = analyze_paths(targets, jobs=1)
+    parallel = analyze_paths(targets, jobs=2)
+    assert sorted(map(key, serial.findings)) == \
+        sorted(map(key, parallel.findings))
+    assert parallel.files_analyzed == len(targets)
+
+
+# --- git diff / changed-only modes ------------------------------------------
+
+
+def _git(repo, *argv):
+    subprocess.run(
+        ["git", "-C", str(repo), "-c", "user.email=dev@example.invalid",
+         "-c", "user.name=dev", *argv],
+        check=True, capture_output=True,
+    )
+
+
+def test_diff_and_changed_only_restrict_reporting(tmp_path, monkeypatch):
+    repo = tmp_path / "proj"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    committed = repo / "committed.py"
+    committed.write_text("def f(x):\n    return x == 1.5\n")
+    touched = repo / "touched.py"
+    touched.write_text("def g(x):\n    return x == 2.5\n")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "base")
+    _git(repo, "branch", "base")
+    touched.write_text("def g(x):\n    return x == 2.5 or x == 3.5\n")
+    _git(repo, "commit", "-aqm", "change touched")
+    monkeypatch.chdir(repo)
+
+    # --diff base: only the file changed since the merge base is reported
+    diffed = analyze_paths(["."], diff_ref="base")
+    assert {Path(f.path).name for f in diffed.findings} == {"touched.py"}
+    # the whole project was still linked (both files analyzed)
+    assert diffed.files_analyzed == 2
+
+    # --changed-only with a clean tree: nothing to report
+    clean = analyze_paths(["."], changed_only=True)
+    assert clean.findings == []
+
+    # an uncommitted edit brings that file (and only it) back
+    committed.write_text("def f(x):\n    return x == 9.5\n")
+    dirty = analyze_paths(["."], changed_only=True)
+    assert {Path(f.path).name for f in dirty.findings} == {"committed.py"}
+
+
 # --- runner / baseline ------------------------------------------------------
 
 
@@ -306,6 +683,32 @@ def test_text_output_mentions_hint_and_summary():
     assert "float-equality" in text
 
 
+def _golden_r6_findings():
+    result = analyze_paths(
+        [str(FIXTURES / "r6_flow_positive.py")], rule_names=["unit-flow"]
+    )
+    return [
+        type(f)(rule=f.rule, severity=f.severity,
+                path="tests/analysis_fixtures/r6_flow_positive.py",
+                line=f.line, col=f.col, message=f.message, hint=f.hint)
+        for f in result.findings
+    ]
+
+
+def test_golden_r6_json_output():
+    text = format_json(_golden_r6_findings())
+    assert text == (FIXTURES / "golden_r6.json").read_text()
+
+
+def test_golden_r6_sarif_output():
+    text = format_sarif(_golden_r6_findings(), make_rules(["unit-flow"]))
+    assert text == (FIXTURES / "golden_r6.sarif").read_text()
+    payload = json.loads(text)
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["rules"][0]["id"] == "unit-flow"
+    assert len(run["results"]) == 3
+
+
 # --- CLI --------------------------------------------------------------------
 
 
@@ -351,6 +754,41 @@ def test_cli_list_rules(capsys):
         assert name in out
 
 
+def test_cli_analyze_accepts_rule_aliases_and_jobs(capsys):
+    code = cli_main(
+        ["analyze", str(FIXTURES / "r6_flow_positive.py"),
+         "--rules", "R6", "--format", "json", "--fail-on", "never",
+         "--no-cache", "-j", "2",
+         "--baseline", str(FIXTURES / "no_such_baseline.json")]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["total"] == 3
+    assert {f["rule"] for f in payload["findings"]} == {"unit-flow"}
+
+
+def test_cli_analyze_cache_flags(tmp_path, capsys):
+    target = str(FIXTURES / "r5_float_positive.py")
+    cache_dir = str(tmp_path / "cache")
+    common = ["analyze", target, "--fail-on", "never",
+              "--cache-dir", cache_dir,
+              "--baseline", str(FIXTURES / "no_such_baseline.json")]
+    assert cli_main(common) == 0
+    assert cli_main(common) == 0
+    capsys.readouterr()
+    assert any((tmp_path / "cache").rglob("*.json"))
+
+
+def test_cli_write_baseline_refuses_diff_modes(tmp_path, capsys):
+    code = cli_main(
+        ["analyze", str(FIXTURES / "r5_float_positive.py"),
+         "--baseline", str(tmp_path / "b.json"), "--write-baseline",
+         "--changed-only"]
+    )
+    capsys.readouterr()
+    assert code == 2
+
+
 # --- the repository itself --------------------------------------------------
 
 
@@ -365,11 +803,16 @@ def test_src_tree_is_clean_against_committed_baseline():
     )
 
 
-def test_all_five_rules_registered():
+def test_all_eight_rules_registered():
     assert rule_names() == [
         "cache-invalidation",
         "float-equality",
         "hash-determinism",
+        "obs-taxonomy",
         "pickle-safety",
+        "pool-safety",
         "unit-consistency",
+        "unit-flow",
     ]
+    assert set(RULE_ALIASES) == {f"R{i}" for i in range(1, 9)}
+    assert sorted(RULE_ALIASES.values()) == rule_names()
