@@ -12,6 +12,7 @@ wrapping the paper's experiment sweeps
 ``repro campaign run <name> --jobs N``.
 """
 
+from .batching import batch_groups, batch_runner, get_batch_runner
 from .cache import (
     JobResult,
     ResultCache,
@@ -47,10 +48,13 @@ __all__ = [
     "ManifestWriter",
     "ModelSpec",
     "ResultCache",
+    "batch_groups",
+    "batch_runner",
     "campaign_definition",
     "default_cache_dir",
     "disk_cache_enabled",
     "execute_job",
+    "get_batch_runner",
     "get_campaign",
     "get_runner",
     "list_campaigns",

@@ -51,6 +51,7 @@ _ATTEMPTS = obs.metrics().counter("campaign.jobs.attempts")
 _RETRIES = obs.metrics().counter("campaign.jobs.retries")
 _TIMEOUTS = obs.metrics().counter("campaign.jobs.timeouts")
 _FAILURES = obs.metrics().counter("campaign.jobs.failures")
+_BATCHED = obs.metrics().counter("campaign.jobs.batched")
 _JOB_SECONDS = obs.metrics().histogram("campaign.job.wall_seconds")
 
 #: What a worker returns: result, wall seconds, worker pid, and the
@@ -247,6 +248,56 @@ def _run_serial(
     return outcomes
 
 
+def _run_batched(
+    pending: List[JobSpec],
+    progress: Optional[Callable[[str], None]],
+) -> Tuple[Dict[str, JobOutcome], List[JobSpec]]:
+    """Execute same-model job groups in-process through batch runners.
+
+    Returns the batched outcomes plus the jobs still pending: jobs with
+    no batchable group, and whole groups whose batch runner raised (a
+    mixed trace grid, a model quirk, ...) — those silently fall back to
+    normal per-job execution, so batching can only change cost, never
+    the campaign's results.  Batched outcomes report ``worker``
+    ``"batched"`` and the group's amortized per-job wall time.
+    """
+    from .batching import batch_groups, get_batch_runner
+
+    groups, rest = batch_groups(pending)
+    outcomes: Dict[str, JobOutcome] = {}
+    for group in groups:
+        kind = group[0].kind
+        start = time.perf_counter()
+        _ATTEMPTS.inc(len(group))
+        try:
+            with obs.span("campaign.batch", kind=kind, n_jobs=len(group)):
+                results = get_batch_runner(kind)(group)
+            missing = [s.tag for s in group if s.tag not in results]
+            if missing:
+                raise CampaignError(
+                    f"batch runner for {kind!r} returned no result for "
+                    f"{missing}"
+                )
+        except Exception as exc:  # noqa: BLE001 - fall back, don't fail
+            logger.warning(
+                "batch of %d %r jobs not batchable (%s: %s); "
+                "falling back to per-job execution",
+                len(group), kind, type(exc).__name__, exc,
+            )
+            rest.extend(group)
+            continue
+        wall = (time.perf_counter() - start) / len(group)
+        _BATCHED.inc(len(group))
+        for spec in group:
+            _JOB_SECONDS.observe(wall)
+            outcomes[spec.tag] = JobOutcome(
+                spec=spec, status="ok", result=results[spec.tag],
+                wall_s=wall, worker="batched",
+            )
+            _report(outcomes[spec.tag], progress)
+    return outcomes, rest
+
+
 def _run_parallel(
     pending: List[JobSpec],
     jobs: int,
@@ -333,6 +384,9 @@ def _aggregate_metrics(
                 totals[name] = totals.get(name, 0.0) + float(value)
     totals["campaign.cache.hits"] = float(n_cached)
     totals["campaign.cache.misses"] = float(n_fresh)
+    batched = sum(1 for o in run.outcomes if o.worker == "batched")
+    if batched:
+        totals["campaign.jobs.batched"] = float(batched)
     retries = sum(o.retries for o in run.outcomes)
     if retries:
         totals["campaign.jobs.retries"] = float(retries)
@@ -353,6 +407,7 @@ def run_campaign(
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     capture_obs: Optional[bool] = None,
+    batch: bool = True,
 ) -> CampaignRun:
     """Execute a campaign; see the module docstring for semantics.
 
@@ -382,6 +437,13 @@ def run_campaign(
     capture_obs:
         Capture per-job span trees and metric deltas across the pool.
         ``None`` (default) follows the global tracer's enabled flag.
+    batch:
+        Recognize pending jobs that share ``(kind, model)`` and run
+        each such group as one in-process lockstep solve (see
+        :mod:`repro.campaign.batching`); results are bitwise identical
+        to per-job execution, groups that cannot batch fall back
+        automatically.  Batched jobs have no per-job obs capture (their
+        spans land on this process's tracer instead).
     """
     capture = obs.tracing_enabled() if capture_obs is None else capture_obs
     start = time.perf_counter()
@@ -410,14 +472,16 @@ def run_campaign(
             probe.annotate(hits=len(cached), misses=len(pending))
 
         fresh: Dict[str, JobOutcome] = {}
+        if pending and batch:
+            fresh, pending = _run_batched(pending, progress)
         if pending:
             use_pool = jobs > 1 and len(pending) > 1
             if use_pool:
                 try:
-                    fresh = _run_parallel(
+                    fresh.update(_run_parallel(
                         pending, jobs, timeout, retries, backoff, progress,
                         capture,
-                    )
+                    ))
                     run.parallel = True
                 except Exception as exc:  # pool unavailable: degrade to serial
                     note = (f"process pool unavailable "
@@ -427,7 +491,9 @@ def run_campaign(
                         progress(f"[  NOTE ] {note}")
                     use_pool = False
             if not use_pool:
-                fresh = _run_serial(pending, retries, backoff, progress, capture)
+                fresh.update(
+                    _run_serial(pending, retries, backoff, progress, capture)
+                )
 
         # Fold worker-side metric deltas into this process's registry so
         # pool runs and serial runs leave identical global counts.

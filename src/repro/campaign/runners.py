@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
@@ -175,19 +175,17 @@ def run_package_metrics(spec: JobSpec) -> JobResult:
     )
 
 
-@runner("dtm_policy")
-def run_dtm_policy(spec: JobSpec) -> JobResult:
-    """One closed-loop DTM simulation (package x policy comparison).
+def dtm_setup(spec: JobSpec, model: Any) -> Tuple[Any, Any]:
+    """Build the (controller, trace) pair a ``dtm_policy`` job describes.
 
-    The driving trace is a pulse train on ``pulse_block`` (the
-    Fig. 8-style stimulus of the DTM bench); the policy is selected by
-    name with one ``strength`` knob and optional ``targets``.
+    Shared by the serial runner below and the batched group runner in
+    :mod:`repro.campaign.batching`, which builds the model once and
+    calls this per job so both paths configure identical simulations.
     """
     from ..dtm import ClockGating, DTMController, DVFS, FetchThrottle
     from ..power import pulse_train
     from ..sensors import SensorArray, place_at_block
 
-    model = spec.model.build()
     plan = model.floorplan
     policies = {
         "fetch_throttle": FetchThrottle,
@@ -225,7 +223,11 @@ def run_dtm_policy(spec: JobSpec) -> JobResult:
         threshold=model.config.ambient + float(spec.param("threshold_rise", 22.0)),
         engagement_duration=float(spec.param("engagement_duration", 10e-3)),
     )
-    run = controller.run(trace)
+    return controller, trace
+
+
+def dtm_result(run: Any, model: Any) -> JobResult:
+    """Package one DTM run as a job result (serial and batched paths)."""
     return JobResult(
         scalars={
             "peak_temperature_k": run.peak_temperature,
@@ -235,6 +237,20 @@ def run_dtm_policy(spec: JobSpec) -> JobResult:
         },
         meta={"ambient_k": model.config.ambient},
     )
+
+
+@runner("dtm_policy")
+def run_dtm_policy(spec: JobSpec) -> JobResult:
+    """One closed-loop DTM simulation (package x policy comparison).
+
+    The driving trace is a pulse train on ``pulse_block`` (the
+    Fig. 8-style stimulus of the DTM bench); the policy is selected by
+    name with one ``strength`` knob and optional ``targets``.
+    """
+    model = spec.model.build()
+    controller, trace = dtm_setup(spec, model)
+    run = controller.run(trace)
+    return dtm_result(run, model)
 
 
 def _claim_attempt(marker_dir: str) -> int:

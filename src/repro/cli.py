@@ -153,6 +153,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="re-attempts per failing job (default 2)")
     crun.add_argument("--force", action="store_true",
                       help="recompute even when results are cached")
+    crun.add_argument("--no-batch", action="store_true",
+                      help="disable lockstep batching of same-model "
+                           "job groups (always run per job)")
     crun.add_argument("-P", "--param", action="append", default=[],
                       metavar="KEY=VALUE",
                       help="campaign builder parameter, repeatable "
@@ -241,6 +244,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="disable the result cache for this run")
     trun.add_argument("--force", action="store_true",
                       help="recompute even when results are cached")
+    trun.add_argument("--no-batch", action="store_true",
+                      help="disable lockstep batching of same-model "
+                           "job groups (always run per job)")
     trun.add_argument("-P", "--param", action="append", default=[],
                       metavar="KEY=VALUE",
                       help="campaign builder parameter, repeatable")
@@ -434,6 +440,7 @@ def _campaign_run(args) -> int:
     run = run_campaign(
         spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
         timeout=args.timeout, retries=args.retries, force=args.force,
+        batch=not args.no_batch,
     )
     summary = run.summary
     print(f"{summary.n_ok}/{summary.n_jobs} jobs ok, "
@@ -585,7 +592,7 @@ def _trace_run(args) -> int:
     t0 = _time.perf_counter()
     run = run_campaign(
         spec, jobs=args.jobs, cache=cache, force=args.force,
-        capture_obs=True,
+        capture_obs=True, batch=not args.no_batch,
     )
     wall = _time.perf_counter() - t0
 

@@ -87,11 +87,17 @@ def run_dtm_comparison(
     ny: int = 16,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    batch: bool = True,
     **campaign_params,
 ) -> Dict[Tuple[str, str], DTMPolicyOutcome]:
-    """Run the sweep; returns (package, policy) -> outcome."""
+    """Run the sweep; returns (package, policy) -> outcome.
+
+    With ``batch`` (the default) each package's three policy runs
+    execute as one lockstep solve — same numbers, one factorization
+    and one stepping loop per package instead of three.
+    """
     spec = dtm_campaign(nx=nx, ny=ny, **campaign_params)
-    run = run_campaign(spec, jobs=jobs, cache=cache)
+    run = run_campaign(spec, jobs=jobs, cache=cache, batch=batch)
     rows: Dict[Tuple[str, str], DTMPolicyOutcome] = {}
     for job in spec.jobs:
         package, policy = job.tag.split("/", 1)

@@ -19,7 +19,7 @@ Claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,6 +100,90 @@ def fig12_campaign(
     return CampaignSpec(name="fig12", jobs=(oil, air))
 
 
+def fig12_ensemble_campaign(
+    seeds: Sequence[int],
+    package: str = "oil",
+    instructions: int = 500_000,
+    duration: float = 0.040,
+    rconv: float = 0.3,
+    nx: int = 24,
+    ny: int = 24,
+    thermal_stride: int = 10,
+) -> CampaignSpec:
+    """A seed ensemble of Fig. 12-style trace runs on one package.
+
+    All jobs share one :class:`~repro.campaign.ModelSpec` and one
+    thermal step, so the executor's batch path integrates the whole
+    ensemble as a single lockstep solve — the demonstration case for
+    :mod:`repro.campaign.batching` (the two-package ``fig12`` campaign
+    itself cannot batch: its jobs use different models).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if package == "oil":
+        model = ModelSpec(
+            chip="ev6", package="oil", nx=nx, ny=ny,
+            uniform_h=True, target_resistance=rconv,
+            include_secondary=True, ambient_c=45.0,
+        )
+    else:
+        model = ModelSpec(
+            chip="ev6", package="air", nx=nx, ny=ny,
+            convection_resistance=rconv, include_secondary=False,
+            ambient_c=45.0,
+        )
+    jobs = tuple(
+        JobSpec.make(
+            "trace_transient", tag=f"seed{seed}", model=model,
+            duration=duration, instructions=instructions, seed=seed,
+            thermal_stride=thermal_stride, init="steady",
+        )
+        for seed in seeds
+    )
+    return CampaignSpec(name=f"fig12-ensemble-{package}", jobs=jobs)
+
+
+@dataclass
+class Fig12Ensemble:
+    """Per-seed block traces (C) plus across-seed spread statistics."""
+
+    times: np.ndarray
+    seed_blocks_c: np.ndarray  # (n_seeds, n_times, n_blocks)
+    seeds: List[int]
+    block_names: List[str]
+
+    def spread(self, block: str) -> np.ndarray:
+        """Across-seed max-min temperature spread of one block (C)."""
+        series = self.seed_blocks_c[:, :, self.block_names.index(block)]
+        return np.asarray(series.max(axis=0) - series.min(axis=0))
+
+
+def run_fig12_ensemble(
+    seeds: Sequence[int],
+    package: str = "oil",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    batch: bool = True,
+    **campaign_params: Any,
+) -> Fig12Ensemble:
+    """Run a same-package seed ensemble (batched by default)."""
+    spec = fig12_ensemble_campaign(list(seeds), package=package,
+                                   **campaign_params)
+    run = run_campaign(spec, jobs=jobs, cache=cache, batch=batch)
+    first = run.result_for(spec.jobs[0].tag)
+    ambient_c = first.meta["ambient_k"] - ZERO_CELSIUS_IN_KELVIN
+    stacked = np.stack([
+        run.result_for(job.tag).arrays["block_rise_k"] + ambient_c
+        for job in spec.jobs
+    ])
+    return Fig12Ensemble(
+        times=first.arrays["times"],
+        seed_blocks_c=stacked,
+        seeds=list(seeds),
+        block_names=list(first.meta["block_names"]),
+    )
+
+
 def run_fig12(
     instructions: int = 500_000,
     duration: float = 0.040,
@@ -109,6 +193,7 @@ def run_fig12(
     thermal_stride: int = 10,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    batch: bool = True,
 ) -> Fig12Result:
     """Run the Fig. 12 trace-driven experiment via the campaign engine.
 
@@ -127,7 +212,7 @@ def run_fig12(
             instructions=instructions, duration=duration, rconv=rconv,
             nx=nx, ny=ny, thermal_stride=thermal_stride,
         ),
-        jobs=jobs, cache=cache,
+        jobs=jobs, cache=cache, batch=batch,
     )
     oil_result = run.result_for("oil")
     air_result = run.result_for("air")

@@ -32,6 +32,9 @@ SPAN_NAMES = frozenset(
         "solver.transient.factorize",
         "solver.transient.simulate",
         "solver.transient.schedule",
+        "solver.batched.simulate",
+        "solver.batched.schedule",
+        "campaign.batch",
     }
 )
 
@@ -44,6 +47,10 @@ METRIC_NAMES = frozenset(
         "solver.steady.solve_seconds",
         "solver.transient.matrix_builds",
         "solver.transient.steps",
+        "solver.batched.runs",
+        "solver.batched.scenarios",
+        "solver.batched.steps",
+        "campaign.jobs.batched",
         "rcmodel.grid.assemblies",
         "rcmodel.grid.assembly_seconds",
         "campaign.jobs.attempts",

@@ -9,6 +9,12 @@ from .transient import (
     BackwardEulerStepper,
 )
 from .events import PiecewiseConstantSchedule, simulate_schedule
+from .batched import (
+    BatchScenario,
+    BatchedTransientResult,
+    batched_simulate_schedules,
+    batched_transient_simulate,
+)
 from .coupled import (
     CoupledSteadyResult,
     steady_state_with_leakage,
@@ -26,6 +32,10 @@ __all__ = [
     "BackwardEulerStepper",
     "PiecewiseConstantSchedule",
     "simulate_schedule",
+    "BatchScenario",
+    "BatchedTransientResult",
+    "batched_simulate_schedules",
+    "batched_transient_simulate",
     "CoupledSteadyResult",
     "steady_state_with_leakage",
     "transient_with_leakage",

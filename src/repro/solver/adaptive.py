@@ -31,6 +31,15 @@ PowerInput = Union[np.ndarray, Callable[[float], np.ndarray]]
 #: the LU cache stays small.
 _LADDER_BASE = 2.0
 
+#: A final residual below this fraction of the pending step is float
+#: accumulation residue, not physics: it is absorbed into the last
+#: accepted step instead of paying a factorization for a sliver.
+_SLIVER_FRACTION = 1e-9
+
+#: Relative tolerance for reusing an existing factor for the final
+#: partial step instead of building a fresh one.
+_FACTOR_MATCH_RTOL = 1e-9
+
 
 class AdaptiveTransientSolver:
     """Step-doubling adaptive integrator over a thermal network.
@@ -63,6 +72,7 @@ class AdaptiveTransientSolver:
         self.dt_min = float(dt_min)
         self.dt_max = float(dt_max)
         self._steppers: Dict[int, BackwardEulerStepper] = {}
+        self._final_steppers: Dict[float, BackwardEulerStepper] = {}
 
     def _stepper(self, rung: int) -> BackwardEulerStepper:
         if rung not in self._steppers:
@@ -70,6 +80,25 @@ class AdaptiveTransientSolver:
                 self.network, self.dt_min * _LADDER_BASE ** rung
             )
         return self._steppers[rung]
+
+    def _final_stepper(self, dt_final: float) -> BackwardEulerStepper:
+        """A stepper for exactly ``dt_final``, reusing cached factors.
+
+        A ladder (or previously built final) factor whose step matches
+        within :data:`_FACTOR_MATCH_RTOL` is reused outright — the
+        relative horizon error it introduces is far below the solver
+        tolerances — and genuinely new final sizes are cached so
+        repeated integrations over the same horizon factorize once.
+        """
+        for stepper in self._steppers.values():
+            if abs(stepper.dt - dt_final) <= _FACTOR_MATCH_RTOL * stepper.dt:
+                return stepper
+        for stepper in self._final_steppers.values():
+            if abs(stepper.dt - dt_final) <= _FACTOR_MATCH_RTOL * stepper.dt:
+                return stepper
+        stepper = BackwardEulerStepper(self.network, dt_final)
+        self._final_steppers[dt_final] = stepper
+        return stepper
 
     def _rung_for(self, dt: float) -> int:
         rung = int(np.floor(np.log(dt / self.dt_min) / np.log(_LADDER_BASE)))
@@ -114,19 +143,38 @@ class AdaptiveTransientSolver:
             return projector(state) if projector is not None \
                 else state.copy()
 
+        if initial_dt is None:
+            initial_dt = 100 * self.dt_min
+        else:
+            initial_dt = float(initial_dt)
+            if initial_dt <= 0:
+                raise SolverError("initial_dt must be positive")
+            if initial_dt > self.dt_max:
+                raise SolverError(
+                    f"initial_dt {initial_dt:g} exceeds dt_max {self.dt_max:g}"
+                )
+
         times: List[float] = [0.0]
         records: List[np.ndarray] = [observe(x)]
         now = 0.0
-        rung = self._rung_for(initial_dt or 100 * self.dt_min)
+        eps = 1e-12 * max(1.0, t_end)
+        rung = self._rung_for(initial_dt)
         max_rejects = 60
-        while now < t_end - 1e-12:
+        while now < t_end - eps:
             rejects = 0
             while True:
                 stepper = self._stepper(rung)
                 dt = stepper.dt
-                if now + dt > t_end:
-                    # final partial step: fixed, not error-controlled
-                    final = BackwardEulerStepper(self.network, t_end - now)
+                if now + dt > t_end - eps:
+                    # final partial step: fixed, not error-controlled.
+                    # Clamp the residual against float accumulation;
+                    # absorb slivers into the last accepted step rather
+                    # than factorizing for (or crashing on) them.
+                    residual = t_end - now
+                    if residual <= max(_SLIVER_FRACTION * dt, eps):
+                        now = t_end
+                        break
+                    final = self._final_stepper(residual)
                     p = np.asarray(power_at(t_end), float)
                     x = final.step(x, p)
                     now = t_end

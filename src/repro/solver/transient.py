@@ -13,12 +13,17 @@ Two steppers are provided:
 * :class:`BackwardEulerStepper` -- first order, L-stable; useful to
   damp the start-up transient of stiff configurations and as a
   cross-check of the trapezoidal results.
+
+Both derive from one stepping core that accepts either a single state
+vector ``(n,)`` or a batch matrix ``(n, K)`` whose columns advance in
+lockstep through the same LU factorization — the mechanism behind
+:mod:`repro.solver.batched`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Union
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -32,6 +37,61 @@ PowerInput = Union[np.ndarray, Callable[[float], np.ndarray]]
 
 _MATRIX_BUILDS = obs.metrics().counter("solver.transient.matrix_builds")
 _STEPS = obs.metrics().counter("solver.transient.steps")
+
+#: Horizon/step alignment tolerance: ``t_end / dt`` ratios within one
+#: part in 1e9 of an integer are float-division residue, not a real
+#: remainder, and integrate as exactly that many full steps.
+_ALIGN_RTOL = 1e-9
+
+try:
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    def _csr_matvecs(matrix: Any, x: np.ndarray) -> np.ndarray:
+        """``matrix @ x`` for 2-D ``x`` without operator-dispatch cost.
+
+        Calls the same C kernel scipy's ``@`` runs (``csr_matvecs``),
+        which accumulates each output column in exactly the single-
+        vector order — so column ``k`` is bitwise ``matrix @ x[:, k]``.
+        The batched stepping loop calls this every step, where the
+        public operator's per-call validation would dominate on small
+        grids.
+        """
+        n_row, n_col = matrix.shape
+        n_vecs = x.shape[1]
+        x = np.ascontiguousarray(x)
+        out = np.zeros((n_row, n_vecs))
+        _scipy_sparsetools.csr_matvecs(
+            n_row, n_col, n_vecs, matrix.indptr, matrix.indices,
+            matrix.data, x.ravel(), out.ravel(),
+        )
+        return out
+except ImportError:  # pragma: no cover - scipy layout changed
+    def _csr_matvecs(matrix: Any, x: np.ndarray) -> np.ndarray:
+        return matrix @ x
+
+
+def plan_fixed_steps(t_end: float, dt: float) -> Tuple[int, Optional[float]]:
+    """Split ``[0, t_end]`` into full ``dt`` steps plus an exact remainder.
+
+    Returns ``(n_full, dt_final)``: ``dt_final`` is ``None`` when ``dt``
+    divides ``t_end`` (within :data:`_ALIGN_RTOL`), otherwise the exact
+    final partial step ``t_end - n_full * dt`` so the integration lands
+    on ``t_end`` instead of silently rounding the horizon.
+    """
+    if t_end <= 0:
+        raise SolverError("t_end must be positive")
+    if dt <= 0:
+        raise SolverError("dt must be positive")
+    ratio = t_end / dt
+    nearest = round(ratio)
+    if nearest >= 1 and abs(ratio - nearest) <= _ALIGN_RTOL * nearest:
+        return int(nearest), None
+    if ratio < 1.0:
+        raise SolverError(
+            f"t_end shorter than one step (t_end={t_end:g}, dt={dt:g})"
+        )
+    n_full = int(ratio)
+    return n_full, t_end - n_full * dt
 
 
 @dataclass
@@ -60,70 +120,179 @@ class TransientResult:
         return self.states[:, column]
 
 
-class TrapezoidalStepper:
+class _ImplicitStepper:
+    """Shared stepping core: one cached LU factor, 1-D or 2-D states.
+
+    Subclasses provide the factorization and the right-hand side of
+    their implicit update.  ``step`` accepts either a single state
+    vector of shape ``(n,)`` or a batch matrix of shape ``(n, K)``
+    whose columns are independent scenarios; SuperLU solves every
+    column against the same factorization, and each column's result is
+    bitwise identical to stepping it alone.
+    """
+
+    order: int = 0
+    method: str = ""
+    #: SuperLU factorization of the implicit system matrix, built by
+    #: the subclass ``_factorize``.
+    _lhs: Any
+
+    def __init__(self, network: ThermalNetwork, dt: float) -> None:
+        if dt <= 0:
+            raise SolverError("dt must be positive")
+        self.network = network
+        self.dt = float(dt)
+        with obs.span("solver.transient.factorize", method=self.method,
+                      n_nodes=network.n_nodes, dt=self.dt):
+            self._factorize(network)
+        _MATRIX_BUILDS.inc()
+
+    def _factorize(self, network: ThermalNetwork) -> None:
+        raise NotImplementedError
+
+    def _rhs(self, x: np.ndarray, p_now: np.ndarray,
+             p_next: Optional[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def _solve_columns(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve a multi-column RHS, each column bitwise as if alone.
+
+        SuperLU routes a multi-RHS solve through blocked BLAS kernels
+        whose floating-point operation order can differ from the
+        single-RHS path — measurably: on a 400-node EV6 grid a blocked
+        K=8 solve tracks the per-column results bitwise for ~400 steps
+        and then rounds one element differently.  The divergence is
+        value-dependent, so no upfront probe can certify the blocked
+        path.  Solving each column separately against the shared
+        factorization is the exact serial operation sequence and keeps
+        the "batch column == stepping that scenario alone" contract by
+        construction; the batch still amortizes factorizations, RHS
+        assembly, and the Python stepping loop.
+        """
+        rhs = np.asfortranarray(rhs)  # column slices become copy-free views
+        out = np.empty(rhs.shape)  # C order: the next RHS ravels for free
+        for k in range(rhs.shape[1]):
+            out[:, k] = self._lhs.solve(rhs[:, k])
+        return out
+
+    def step(self, x: np.ndarray, p_now: np.ndarray,
+             p_next: Optional[np.ndarray] = None) -> np.ndarray:
+        """One time step from state(s) ``x`` under the given power(s)."""
+        rhs = self._rhs(x, p_now, p_next)
+        _STEPS.inc()
+        if rhs.ndim == 2:
+            return self._solve_columns(rhs)
+        return self._lhs.solve(rhs)
+
+    def effective_power(self, p_now: np.ndarray,
+                        p_next: np.ndarray) -> np.ndarray:
+        """The power term this method's RHS adds for one step.
+
+        Vectorizes over any leading axes (elementwise, so precomputing
+        a whole block of steps at once is bitwise identical to the
+        per-step expression in ``_rhs``).
+        """
+        raise NotImplementedError
+
+    def step_effective(self, x: np.ndarray,
+                       p_eff: np.ndarray) -> np.ndarray:
+        """Batched step with a precomputed :meth:`effective_power` term.
+
+        The hot loop of :mod:`repro.solver.batched`: identical numbers
+        to :meth:`step`, minus the per-step power arithmetic.
+        """
+        rhs = self._rhs_state(x)
+        rhs += p_eff
+        _STEPS.inc()
+        if rhs.ndim == 2:
+            return self._solve_columns(rhs)
+        return self._lhs.solve(rhs)
+
+    def _rhs_state(self, x: np.ndarray) -> np.ndarray:
+        """The state-dependent part of the RHS (a fresh, writable array)."""
+        raise NotImplementedError
+
+
+class TrapezoidalStepper(_ImplicitStepper):
     """Crank-Nicolson stepper with a cached LU factorization.
 
     Advances ``(C/dt + A/2) x' = (C/dt - A/2) x + (p + p')/2``.
     """
 
     order = 2
+    method = "trapezoidal"
 
-    def __init__(self, network: ThermalNetwork, dt: float) -> None:
-        if dt <= 0:
-            raise SolverError("dt must be positive")
-        self.network = network
-        self.dt = float(dt)
-        with obs.span("solver.transient.factorize", method="trapezoidal",
-                      n_nodes=network.n_nodes, dt=self.dt):
-            c_over_dt = sparse.diags(network.capacitance / self.dt)
-            a = network.system_matrix
-            self._lhs = splu((c_over_dt + 0.5 * a).tocsc())
-            self._rhs_matrix = (c_over_dt - 0.5 * a).tocsr()
-        _MATRIX_BUILDS.inc()
+    def _factorize(self, network: ThermalNetwork) -> None:
+        c_over_dt = sparse.diags(network.capacitance / self.dt)
+        a = network.system_matrix
+        self._lhs = splu((c_over_dt + 0.5 * a).tocsc())
+        self._rhs_matrix = (c_over_dt - 0.5 * a).tocsr()
 
-    def step(self, x: np.ndarray, p_now: np.ndarray,
-             p_next: Optional[np.ndarray] = None) -> np.ndarray:
-        """One time step from state ``x`` under the given power(s)."""
+    def _rhs(self, x: np.ndarray, p_now: np.ndarray,
+             p_next: Optional[np.ndarray]) -> np.ndarray:
         if p_next is None:
             p_next = p_now
-        rhs = self._rhs_matrix @ x + 0.5 * (p_now + p_next)
-        _STEPS.inc()
-        return self._lhs.solve(rhs)
+        if x.ndim == 2:
+            out = _csr_matvecs(self._rhs_matrix, x)
+            out += 0.5 * (p_now + p_next)
+            return out
+        return self._rhs_matrix @ x + 0.5 * (p_now + p_next)
+
+    def effective_power(self, p_now: np.ndarray,
+                        p_next: np.ndarray) -> np.ndarray:
+        return 0.5 * (p_now + p_next)
+
+    def _rhs_state(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2:
+            return _csr_matvecs(self._rhs_matrix, x)
+        return self._rhs_matrix @ x
 
 
-class BackwardEulerStepper:
+class BackwardEulerStepper(_ImplicitStepper):
     """Backward Euler stepper with a cached LU factorization.
 
     Advances ``(C/dt + A) x' = (C/dt) x + p'``.
     """
 
     order = 1
+    method = "backward_euler"
 
-    def __init__(self, network: ThermalNetwork, dt: float) -> None:
-        if dt <= 0:
-            raise SolverError("dt must be positive")
-        self.network = network
-        self.dt = float(dt)
-        with obs.span("solver.transient.factorize", method="backward_euler",
-                      n_nodes=network.n_nodes, dt=self.dt):
-            self._c_over_dt = network.capacitance / self.dt
-            a = network.system_matrix
-            self._lhs = splu((sparse.diags(self._c_over_dt) + a).tocsc())
-        _MATRIX_BUILDS.inc()
+    def _factorize(self, network: ThermalNetwork) -> None:
+        self._c_over_dt = network.capacitance / self.dt
+        a = network.system_matrix
+        self._lhs = splu((sparse.diags(self._c_over_dt) + a).tocsc())
 
-    def step(self, x: np.ndarray, p_now: np.ndarray,
-             p_next: Optional[np.ndarray] = None) -> np.ndarray:
-        """One time step from state ``x`` under the given power(s)."""
+    def _rhs(self, x: np.ndarray, p_now: np.ndarray,
+             p_next: Optional[np.ndarray]) -> np.ndarray:
         p_end = p_now if p_next is None else p_next
-        rhs = self._c_over_dt * x + p_end
-        _STEPS.inc()
-        return self._lhs.solve(rhs)
+        if x.ndim == 2:
+            return self._c_over_dt[:, None] * x + p_end
+        return self._c_over_dt * x + p_end
+
+    def effective_power(self, p_now: np.ndarray,
+                        p_next: np.ndarray) -> np.ndarray:
+        return np.asarray(p_next)
+
+    def _rhs_state(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2:
+            return self._c_over_dt[:, None] * x
+        return self._c_over_dt * x
 
 
 _STEPPERS = {
     "trapezoidal": TrapezoidalStepper,
     "backward_euler": BackwardEulerStepper,
 }
+
+
+def stepper_class(method: str) -> Any:
+    """The stepper class registered under ``method``."""
+    try:
+        return _STEPPERS[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown method {method!r}; pick from {sorted(_STEPPERS)}"
+        ) from None
 
 
 def transient_simulate(
@@ -144,7 +313,9 @@ def transient_simulate(
         Either a constant node power vector or a callable ``p(t)``
         evaluated at step boundaries.
     t_end, dt:
-        Simulation horizon and fixed step size, seconds.
+        Simulation horizon and fixed step size, seconds.  When ``dt``
+        does not divide ``t_end``, the run finishes with one exact
+        partial step so the recorded horizon is always ``t_end``.
     x0:
         Initial temperature-rise state (zeros = everything at ambient).
     method:
@@ -155,21 +326,13 @@ def transient_simulate(
         Optional reduction applied to each recorded state (e.g.
         ``model.block_rise``) so long runs don't store full node fields.
     """
-    if t_end <= 0:
-        raise SolverError("t_end must be positive")
     if record_every < 1:
         raise SolverError("record_every must be >= 1")
-    try:
-        stepper_cls = _STEPPERS[method]
-    except KeyError:
-        raise SolverError(
-            f"unknown method {method!r}; pick from {sorted(_STEPPERS)}"
-        ) from None
+    stepper_cls = stepper_class(method)
+    n_full, dt_final = plan_fixed_steps(t_end, dt)
     stepper = stepper_cls(network, dt)
 
-    n_steps = int(round(t_end / dt))
-    if n_steps < 1:
-        raise SolverError("t_end shorter than one step")
+    n_steps = n_full + (1 if dt_final is not None else 0)
     if callable(power):
         power_at = power
     else:
@@ -188,7 +351,7 @@ def transient_simulate(
     p_now = np.asarray(power_at(0.0), dtype=float)
     with obs.span("solver.transient.simulate", method=method,
                   n_steps=n_steps, dt=dt, n_nodes=network.n_nodes):
-        for step_index in range(1, n_steps + 1):
+        for step_index in range(1, n_full + 1):
             t_next = step_index * dt
             p_next = np.asarray(power_at(t_next), dtype=float)
             x = stepper.step(x, p_now, p_next)
@@ -196,6 +359,14 @@ def transient_simulate(
             if step_index % record_every == 0 or step_index == n_steps:
                 times.append(t_next)
                 records.append(observe(x))
+        if dt_final is not None:
+            # exact final partial step: a misaligned dt must not
+            # silently shrink or stretch the simulated horizon
+            final_stepper = stepper_cls(network, dt_final)
+            p_next = np.asarray(power_at(t_end), dtype=float)
+            x = final_stepper.step(x, p_now, p_next)
+            times.append(t_end)
+            records.append(observe(x))
     states = np.vstack(records) if records[0].ndim else np.asarray(records)
     return TransientResult(times=np.asarray(times), states=states)
 

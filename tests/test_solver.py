@@ -198,3 +198,65 @@ def test_factor_cache_reused_for_unchanged_network():
     factor_before = net._cached_lu_factor[1]
     steady_state(net, np.array([7.0]))
     assert net._cached_lu_factor[1] is factor_before
+
+
+# --- horizon alignment (regression) -----------------------------------------
+
+
+def _matrix_builds_during(fn):
+    from repro import obs
+
+    before = obs.metrics().snapshot()
+    result = fn()
+    flat = obs.flatten_snapshot(
+        obs.snapshot_diff(obs.metrics().snapshot(), before)
+    )
+    return result, flat.get("solver.transient.matrix_builds", 0.0)
+
+
+def test_misaligned_horizon_lands_exactly_on_t_end():
+    """Regression: dt not dividing t_end silently rounded the horizon.
+
+    ``int(round(t_end / dt))`` turned t_end=1.0, dt=0.3 into a 0.9 s
+    simulation whose last record claimed to be the final state.  The
+    fix takes one exact partial step, so the recorded horizon is
+    always t_end.
+    """
+    r, c, p = 2.0, 3.0, 5.0
+    net = single_rc(r, c)
+    result, builds = _matrix_builds_during(
+        lambda: transient_simulate(net, np.array([p]), t_end=1.0, dt=0.3)
+    )
+    assert result.times[-1] == 1.0  # repro-ok: float-equality; exact horizon
+    # trapezoidal at these steps tracks the analytic charge-up closely
+    analytic = p * r * (1 - np.exp(-1.0 / (r * c)))
+    assert result.final()[0] == pytest.approx(analytic, rel=2e-3)
+    # one full-step factorization plus one for the final partial step
+    assert builds == 2
+
+
+def test_horizon_shorter_than_one_step_rejected():
+    net = single_rc()
+    with pytest.raises(SolverError):
+        transient_simulate(net, np.array([1.0]), t_end=0.05, dt=0.1)
+
+
+def test_aligned_horizon_takes_no_extra_factorization():
+    net = single_rc()
+    result, builds = _matrix_builds_during(
+        lambda: transient_simulate(net, np.array([1.0]), t_end=1.0, dt=0.1)
+    )
+    assert builds == 1
+    assert len(result.times) == 11
+    assert result.times[-1] == pytest.approx(1.0)
+
+
+def test_near_aligned_ratio_treated_as_aligned():
+    # 0.3 / 0.1 is 2.9999999999999996 in floats; that residue must not
+    # become a 1e-17-second "partial step"
+    from repro.solver.transient import plan_fixed_steps
+
+    n_full, dt_final = plan_fixed_steps(0.3, 0.1)
+    assert n_full == 3 and dt_final is None
+    n_full, dt_final = plan_fixed_steps(1.0, 0.3)
+    assert n_full == 3 and dt_final == pytest.approx(0.1)
