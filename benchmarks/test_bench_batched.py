@@ -50,8 +50,16 @@ def write_artifact():
     """Persist the measured numbers after the module's benches ran."""
     yield
     path = os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_solver.json")
+    merged = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                merged = json.load(fh)
+        except ValueError:
+            merged = {}
+    merged.update(ARTIFACT)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(ARTIFACT, fh, indent=2, sort_keys=True)
+        json.dump(merged, fh, indent=2, sort_keys=True)
     print(f"\n  wrote {path}")
 
 

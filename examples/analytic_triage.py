@@ -1,0 +1,122 @@
+"""Analytic triage on a design-space sweep: skip most RC solves, miss nothing.
+
+The paper's closing argument is that the thermal package is itself a
+design-space axis.  Sweeping that axis gets expensive fast: every
+(package, workload-intensity) point is a full RC solve.  This example
+runs an 18-point sweep -- the six Section 2.1 packages at three
+workload intensities -- twice:
+
+1. untriaged: every point through the sparse RC solver (ground truth);
+2. triaged: every point pre-screened by the Green's-function engine
+   (:mod:`repro.solver.analytic`), with only the points predicted to
+   approach the 85 C design threshold dispatched to RC.
+
+It then verifies the triage guarantee end to end: **at least half the
+RC solves are skipped, and the set of points that truly cross the
+threshold is identical in both runs** -- the one-sided skip rule plus
+a band that dominates the analytic error envelope (DESIGN.md §8)
+means triage can only over-dispatch, never miss.
+
+    python examples/analytic_triage.py
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.campaign import (
+    CampaignSpec,
+    JobSpec,
+    ModelSpec,
+    TriageSettings,
+    run_campaign,
+    run_campaign_triaged,
+)
+from repro.experiments.common import gcc_average_power
+from repro.experiments.design_space import PACKAGE_MENU
+from repro.units import ZERO_CELSIUS_IN_KELVIN as ZC
+
+THRESHOLD_C = 85.0   # the classic thermal-design ceiling
+BAND_K = 5.0         # must dominate the analytic envelope (DESIGN.md §8)
+SCALES = (0.6, 1.0, 1.6)
+NX = 16
+
+
+def build_campaign(instructions: int = 100_000) -> CampaignSpec:
+    """Six packages x three workload intensities, steady temperatures."""
+    base = gcc_average_power(instructions)
+    jobs = tuple(
+        JobSpec.make(
+            "steady_blocks",
+            tag=f"{package}@{scale:g}x",
+            model=ModelSpec(chip="ev6", package=package, nx=NX, ny=NX,
+                            ambient_c=45.0),
+            power="blocks",
+            power_blocks=tuple(sorted(
+                (name, watts * scale) for name, watts in base.items()
+            )),
+        )
+        for package in PACKAGE_MENU
+        for scale in SCALES
+    )
+    return CampaignSpec(name="triage_demo", jobs=jobs)
+
+
+def tmax_c(result) -> float:
+    return result.scalars["t_max_k"] - ZC
+
+
+def main() -> None:
+    campaign = build_campaign()
+    n = len(campaign.jobs)
+
+    print(f"sweep: {n} points, threshold {THRESHOLD_C:g} C, "
+          f"band {BAND_K:g} K\n")
+
+    truth = run_campaign(campaign, cache=None)
+    true_hot = {job.tag for job in campaign.jobs
+                if tmax_c(truth.result_for(job.tag)) >= THRESHOLD_C}
+
+    triaged = run_campaign_triaged(
+        campaign,
+        TriageSettings(threshold=THRESHOLD_C, band=BAND_K, nx=8),
+        cache=None,
+    )
+    print(triaged.summary_line(), "\n")
+
+    header = f"{'point':<18}{'RC tmax':>9}{'screen':>9}  {'decision':<12}"
+    print(header)
+    print("-" * len(header))
+    for decision in triaged.decisions:
+        rc = tmax_c(truth.result_for(decision.tag))
+        screen = ("  --  " if decision.predicted is None
+                  else f"{decision.predicted:6.1f}")
+        verdict = "dispatched" if decision.dispatch else "skipped"
+        flag = "  <-- crosses" if decision.tag in true_hot else ""
+        print(f"{decision.tag:<18}{rc:8.1f}C{screen:>8}C  "
+              f"{verdict:<12}{flag}")
+
+    triaged_hot = {
+        tag for tag in triaged.confirmed_tags
+        if tmax_c(triaged.result_for(tag)) >= THRESHOLD_C
+    }
+    missed = true_hot - triaged_hot
+    skipped_fraction = triaged.n_skipped / n
+    print(f"\nskipped {triaged.n_skipped}/{n} RC solves "
+          f"({100 * skipped_fraction:.0f}%), "
+          f"missed threshold crossings: {len(missed)}")
+
+    if missed:
+        raise SystemExit(f"triage missed crossings: {sorted(missed)}")
+    if skipped_fraction < 0.5:
+        raise SystemExit("triage skipped less than half the sweep")
+    if triaged_hot != true_hot:
+        raise SystemExit("triaged and untriaged crossing sets differ")
+    print("zero missed crossings; crossing sets identical.")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,12 @@ from .registry import (
 )
 from .runners import get_runner, runner
 from .spec import CampaignSpec, JobSpec, ModelSpec
+from .triage import (
+    TriageDecision,
+    TriagedCampaignRun,
+    TriageSettings,
+    run_campaign_triaged,
+)
 
 __all__ = [
     "CampaignDefinition",
@@ -48,6 +54,9 @@ __all__ = [
     "ManifestWriter",
     "ModelSpec",
     "ResultCache",
+    "TriageDecision",
+    "TriageSettings",
+    "TriagedCampaignRun",
     "batch_groups",
     "batch_runner",
     "campaign_definition",
@@ -62,6 +71,7 @@ __all__ = [
     "manifest_summary",
     "read_manifest",
     "run_campaign",
+    "run_campaign_triaged",
     "runner",
     "summarize",
 ]

@@ -1,0 +1,390 @@
+"""Analytic pre-screening triage for campaign runs.
+
+The analytic engine (:mod:`repro.solver.analytic`) solves a steady
+case in a fraction of a millisecond; an RC job takes milliseconds to
+seconds.  Triage exploits the gap: every job of a campaign is first
+*screened* analytically on a coarse grid, and only jobs whose
+predicted figure of merit lands above ``threshold - band`` are
+*confirmed* — dispatched to the real RC executor.  The rest are
+*skipped*, their outcomes carrying the (clearly labelled) analytic
+prediction instead.
+
+The skip rule is one-sided on purpose: a job is only skipped when its
+prediction is **below** the band, so as long as the band dominates the
+analytic error envelope (DESIGN.md §8) plus the coarse-grid
+discretization gap, no job whose true metric crosses the threshold is
+ever lost — the guarantee ``examples/analytic_triage.py``
+demonstrates.  Jobs already in the result cache bypass screening
+entirely (the cached RC answer is better than any prediction), and
+kinds with no analytic screener are dispatched unconditionally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..errors import CampaignError, ReproError
+from ..units import ZERO_CELSIUS_IN_KELVIN
+from .cache import JobResult, ResultCache
+from .executor import CampaignRun, JobOutcome, run_campaign
+from .manifest import ManifestWriter
+from .runners import _block_powers
+from .spec import CampaignSpec, JobSpec
+
+if TYPE_CHECKING:
+    from ..rcmodel.grid import ThermalGridModel
+
+logger = logging.getLogger("repro.campaign")
+
+_SCREENED = obs.metrics().counter("campaign.triage.screened")
+_CONFIRMED = obs.metrics().counter("campaign.triage.confirmed")
+_SKIPPED = obs.metrics().counter("campaign.triage.skipped")
+
+#: Job kinds the analytic screener understands.
+TRIAGEABLE_KINDS = ("steady_blocks", "package_metrics")
+
+_METRICS = ("peak", "gradient")
+
+
+@dataclass(frozen=True)
+class TriageSettings:
+    """How to screen: metric, decision band, and screening resolution.
+
+    Parameters
+    ----------
+    threshold:
+        The interesting-point threshold.  For ``metric="peak"`` this is
+        an absolute block temperature in Celsius; for
+        ``metric="gradient"`` an across-die spread in Kelvin.
+    band:
+        Safety margin subtracted from the threshold before skipping.
+        Must dominate the analytic error envelope plus the coarse-grid
+        gap for the zero-missed-crossings guarantee to hold; the
+        default is generous for the standard packages (DESIGN.md §8).
+    metric:
+        ``"peak"`` (hottest block) or ``"gradient"`` (max - min block).
+    nx:
+        Screening grid resolution per axis; ``0`` screens at each
+        job's own resolution (slower, tighter).
+    h_correction:
+        Apply the engine's non-uniform h(x) correction while screening.
+    """
+
+    threshold: float
+    band: float = 5.0
+    metric: str = "peak"
+    nx: int = 8
+    h_correction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.metric not in _METRICS:
+            raise CampaignError(
+                f"unknown triage metric {self.metric!r}; "
+                f"expected one of {_METRICS}"
+            )
+        if self.band < 0:
+            raise CampaignError("triage band must be >= 0")
+        if self.nx < 0:
+            raise CampaignError("triage nx must be >= 0")
+
+    @property
+    def cutoff(self) -> float:
+        """Predictions below this value are skipped."""
+        return self.threshold - self.band
+
+
+@dataclass(frozen=True)
+class TriageDecision:
+    """Why one job was dispatched or skipped."""
+
+    tag: str
+    kind: str
+    dispatch: bool
+    #: "cached" | "interesting" | "skipped" | "unsupported" | "screen-error"
+    reason: str
+    #: The predicted metric value (``None`` when never screened).
+    predicted: Optional[float] = None
+
+
+@dataclass
+class TriagedCampaignRun:
+    """A triaged execution: decisions, skipped outcomes, and the RC run."""
+
+    campaign: CampaignSpec
+    settings: TriageSettings
+    decisions: List[TriageDecision] = field(default_factory=list)
+    #: One outcome per campaign job, campaign order; skipped jobs have
+    #: status ``"screened"`` and carry the analytic prediction.
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    #: The RC sub-run over confirmed jobs (``None`` when all skipped).
+    run: Optional[CampaignRun] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job has a result (RC, cached, or screened)."""
+        return all(
+            outcome.ok or outcome.status == "screened"
+            for outcome in self.outcomes
+        )
+
+    @property
+    def n_screened(self) -> int:
+        """Jobs that went through the analytic screener."""
+        return sum(1 for d in self.decisions if d.predicted is not None)
+
+    @property
+    def n_confirmed(self) -> int:
+        """Jobs dispatched to the RC executor."""
+        return sum(1 for d in self.decisions if d.dispatch)
+
+    @property
+    def n_skipped(self) -> int:
+        """Jobs resolved analytically without an RC solve."""
+        return sum(1 for d in self.decisions if not d.dispatch)
+
+    @property
+    def confirmed_tags(self) -> Tuple[str, ...]:
+        """Tags of the dispatched jobs, campaign order."""
+        return tuple(d.tag for d in self.decisions if d.dispatch)
+
+    def decision_for(self, tag: str) -> TriageDecision:
+        """The triage decision of the job tagged ``tag``."""
+        for decision in self.decisions:
+            if decision.tag == tag:
+                return decision
+        raise CampaignError(
+            f"campaign {self.campaign.name!r} has no job tagged {tag!r}"
+        )
+
+    def outcome_for(self, tag: str) -> JobOutcome:
+        """The outcome of the job tagged ``tag``."""
+        for outcome in self.outcomes:
+            if outcome.spec.tag == tag:
+                return outcome
+        raise CampaignError(
+            f"campaign {self.campaign.name!r} has no job tagged {tag!r}"
+        )
+
+    def result_for(self, tag: str) -> JobResult:
+        """The result (RC or analytic) of the job tagged ``tag``."""
+        outcome = self.outcome_for(tag)
+        if outcome.result is None:
+            raise CampaignError(
+                f"job {tag!r} of campaign {self.campaign.name!r} "
+                f"{outcome.status}: {outcome.error}"
+            )
+        return outcome.result
+
+    def summary_line(self) -> str:
+        """One line for logs/CLI: screen counts and the decision band."""
+        return (
+            f"triage[{self.settings.metric}]: {len(self.decisions)} jobs, "
+            f"{self.n_screened} screened, {self.n_skipped} skipped, "
+            f"{self.n_confirmed} dispatched "
+            f"(cutoff {self.settings.cutoff:g})"
+        )
+
+
+def _screen_model(
+    spec: JobSpec, settings: TriageSettings
+) -> "ThermalGridModel":
+    """Build the (possibly coarsened) model a screen solves."""
+    if spec.model is None:
+        raise CampaignError(f"job {spec.tag!r} has no model to screen")
+    model_spec = spec.model
+    if settings.nx:
+        model_spec = dataclasses.replace(
+            model_spec, nx=settings.nx, ny=settings.nx
+        )
+    return model_spec.build()
+
+
+def _predicted_metric(
+    settings: TriageSettings, t_max_k: float, t_min_k: float, ambient_k: float
+) -> float:
+    if settings.metric == "peak":
+        return t_max_k - ZERO_CELSIUS_IN_KELVIN
+    return t_max_k - t_min_k
+
+
+def _screen_steady_blocks(
+    spec: JobSpec, settings: TriageSettings
+) -> Tuple[float, JobResult]:
+    from ..solver.analytic import AnalyticSteadyEngine
+
+    model = _screen_model(spec, settings)
+    engine = AnalyticSteadyEngine(model, h_correction=settings.h_correction)
+    temps = engine.block_temperatures(_block_powers(spec))
+    names = list(model.floorplan.names)
+    block_temps = np.array([temps[name] for name in names])
+    ambient = float(model.config.ambient)
+    result = JobResult(
+        scalars={"t_max_k": float(block_temps.max()),
+                 "t_min_k": float(block_temps.min())},
+        arrays={"block_temps_k": block_temps},
+        meta={"block_names": names, "ambient_k": ambient,
+              "engine": "analytic",
+              "screen_nx": int(model.mapping.nx)},
+    )
+    value = _predicted_metric(
+        settings, float(block_temps.max()), float(block_temps.min()), ambient
+    )
+    return value, result
+
+
+def _screen_package_metrics(
+    spec: JobSpec, settings: TriageSettings
+) -> Tuple[float, JobResult]:
+    from ..solver.analytic import AnalyticSteadyEngine
+
+    model = _screen_model(spec, settings)
+    engine = AnalyticSteadyEngine(model, h_correction=settings.h_correction)
+    block_rise = engine.block_rise(_block_powers(spec))
+    ambient = float(model.config.ambient)
+    result = JobResult(
+        scalars={"tmax": float(block_rise.max()),
+                 "dt": float(block_rise.max() - block_rise.min()),
+                 "t63": float("nan")},
+        arrays={"block_rise_k": block_rise},
+        meta={"block_names": list(model.floorplan.names),
+              "ambient_k": ambient, "engine": "analytic",
+              "screen_nx": int(model.mapping.nx)},
+    )
+    value = _predicted_metric(
+        settings,
+        float(block_rise.max()) + ambient,
+        float(block_rise.min()) + ambient,
+        ambient,
+    )
+    return value, result
+
+
+_SCREENERS: Dict[
+    str, Callable[[JobSpec, TriageSettings], Tuple[float, JobResult]]
+] = {
+    "steady_blocks": _screen_steady_blocks,
+    "package_metrics": _screen_package_metrics,
+}
+
+
+def run_campaign_triaged(
+    campaign: CampaignSpec,
+    settings: TriageSettings,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    manifest_path: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.1,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    capture_obs: Optional[bool] = None,
+    batch: bool = True,
+) -> TriagedCampaignRun:
+    """Screen a campaign analytically, then run only the confirmed jobs.
+
+    Accepts the same execution knobs as
+    :func:`~repro.campaign.executor.run_campaign`, which the confirmed
+    subset is forwarded to unchanged.  Skipped jobs appear in
+    :attr:`TriagedCampaignRun.outcomes` with status ``"screened"``,
+    worker ``"analytic"``, and a prediction-shaped
+    :class:`~repro.campaign.cache.JobResult` (never written to the
+    cache — the store holds RC truth only).
+    """
+    triaged = TriagedCampaignRun(campaign=campaign, settings=settings)
+    screened_outcomes: Dict[str, JobOutcome] = {}
+    confirmed: List[JobSpec] = []
+
+    with obs.span("campaign.triage", campaign=campaign.name,
+                  n_jobs=len(campaign.jobs), metric=settings.metric,
+                  cutoff=settings.cutoff) as span:
+        for spec in campaign.jobs:
+            if (cache is not None and not force
+                    and cache.get(spec.content_hash) is not None):
+                triaged.decisions.append(TriageDecision(
+                    tag=spec.tag, kind=spec.kind, dispatch=True,
+                    reason="cached",
+                ))
+                _CONFIRMED.inc()
+                confirmed.append(spec)
+                continue
+            screener = _SCREENERS.get(spec.kind)
+            if screener is None:
+                triaged.decisions.append(TriageDecision(
+                    tag=spec.tag, kind=spec.kind, dispatch=True,
+                    reason="unsupported",
+                ))
+                _CONFIRMED.inc()
+                confirmed.append(spec)
+                continue
+            try:
+                predicted, prediction = screener(spec, settings)
+            except ReproError as exc:
+                logger.warning("triage screen of %s failed (%s); "
+                               "dispatching to RC", spec.tag, exc)
+                triaged.decisions.append(TriageDecision(
+                    tag=spec.tag, kind=spec.kind, dispatch=True,
+                    reason="screen-error",
+                ))
+                _CONFIRMED.inc()
+                confirmed.append(spec)
+                continue
+            _SCREENED.inc()
+            if predicted >= settings.cutoff:
+                triaged.decisions.append(TriageDecision(
+                    tag=spec.tag, kind=spec.kind, dispatch=True,
+                    reason="interesting", predicted=predicted,
+                ))
+                _CONFIRMED.inc()
+                confirmed.append(spec)
+                logger.info("[ TRIAGE] %s: predicted %.2f >= %.2f, "
+                            "dispatching", spec.tag, predicted,
+                            settings.cutoff)
+            else:
+                triaged.decisions.append(TriageDecision(
+                    tag=spec.tag, kind=spec.kind, dispatch=False,
+                    reason="skipped", predicted=predicted,
+                ))
+                _SKIPPED.inc()
+                screened_outcomes[spec.tag] = JobOutcome(
+                    spec=spec, status="screened", result=prediction,
+                    worker="analytic",
+                )
+                logger.info("[ TRIAGE] %s: predicted %.2f < %.2f, "
+                            "skipping RC solve", spec.tag, predicted,
+                            settings.cutoff)
+                if progress is not None:
+                    progress(f"[SCREEND] {spec.tag}: "
+                             f"predicted {predicted:.2f}")
+        span.annotate(screened=triaged.n_screened,
+                      confirmed=triaged.n_confirmed,
+                      skipped=triaged.n_skipped)
+
+    if manifest_path and screened_outcomes:
+        writer = ManifestWriter(manifest_path)
+        for spec in campaign.jobs:
+            if spec.tag in screened_outcomes:
+                writer.job(screened_outcomes[spec.tag].record(campaign.name))
+
+    if confirmed:
+        sub = CampaignSpec(name=campaign.name, jobs=tuple(confirmed))
+        triaged.run = run_campaign(
+            sub, jobs=jobs, cache=cache, manifest_path=manifest_path,
+            timeout=timeout, retries=retries, backoff=backoff, force=force,
+            progress=progress, capture_obs=capture_obs, batch=batch,
+        )
+        by_tag = {o.spec.tag: o for o in triaged.run.outcomes}
+    else:
+        by_tag = {}
+    triaged.outcomes = [
+        screened_outcomes.get(spec.tag) or by_tag[spec.tag]
+        for spec in campaign.jobs
+    ]
+    logger.debug(triaged.summary_line())
+    return triaged

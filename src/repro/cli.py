@@ -163,6 +163,26 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--trace", default=None, metavar="PATH",
                       help="enable span tracing and write a Chrome "
                            "trace-event file here")
+    crun.add_argument("--triage", action="store_true",
+                      help="pre-screen jobs with the analytic engine and "
+                           "dispatch only those predicted to cross the "
+                           "triage threshold")
+    crun.add_argument("--triage-threshold", type=float, default=85.0,
+                      metavar="T",
+                      help="interesting-point threshold: peak block "
+                           "temperature in Celsius (metric=peak) or "
+                           "spread in Kelvin (metric=gradient); "
+                           "default 85.0")
+    crun.add_argument("--triage-band", type=float, default=5.0, metavar="B",
+                      help="safety band subtracted from the threshold "
+                           "before skipping (default 5.0; must dominate "
+                           "the analytic error envelope, DESIGN.md §8)")
+    crun.add_argument("--triage-metric", choices=("peak", "gradient"),
+                      default="peak",
+                      help="figure of merit to screen on (default peak)")
+    crun.add_argument("--triage-nx", type=int, default=8, metavar="N",
+                      help="screening grid resolution (default 8; "
+                           "0 = each job's own grid)")
 
     csub.add_parser("list", help="list registered campaigns")
 
@@ -437,25 +457,48 @@ def _campaign_run(args) -> int:
         spec.name, len(spec), args.jobs,
         "off" if cache is None else cache_root,
     )
-    run = run_campaign(
-        spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
-        timeout=args.timeout, retries=args.retries, force=args.force,
-        batch=not args.no_batch,
-    )
-    summary = run.summary
-    print(f"{summary.n_ok}/{summary.n_jobs} jobs ok, "
-          f"{summary.n_cached} cached "
-          f"(hit rate {100 * summary.hit_rate:.0f}%), "
-          f"p50 {summary.p50_wall_s:.3f} s, "
-          f"p95 {summary.p95_wall_s:.3f} s, "
-          f"total {summary.total_wall_s:.3f} s")
+    if args.triage:
+        from .campaign import TriageSettings, run_campaign_triaged
+
+        settings = TriageSettings(
+            threshold=args.triage_threshold, band=args.triage_band,
+            metric=args.triage_metric, nx=args.triage_nx,
+        )
+        triaged = run_campaign_triaged(
+            spec, settings, jobs=args.jobs, cache=cache,
+            manifest_path=manifest, timeout=args.timeout,
+            retries=args.retries, force=args.force,
+            batch=not args.no_batch,
+        )
+        print(triaged.summary_line())
+        run = triaged.run
+        ok = triaged.ok
+    else:
+        run = run_campaign(
+            spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
+            timeout=args.timeout, retries=args.retries, force=args.force,
+            batch=not args.no_batch,
+        )
+        ok = run.ok
+    if run is not None:
+        summary = run.summary
+        print(f"{summary.n_ok}/{summary.n_jobs} jobs ok, "
+              f"{summary.n_cached} cached "
+              f"(hit rate {100 * summary.hit_rate:.0f}%), "
+              f"p50 {summary.p50_wall_s:.3f} s, "
+              f"p95 {summary.p95_wall_s:.3f} s, "
+              f"total {summary.total_wall_s:.3f} s")
+    else:
+        print("0 jobs dispatched (all screened out analytically)")
     if manifest:
         print(f"manifest: {manifest}")
     if trace_path:
-        roots = list(obs.tracer().drain()) + run.span_roots()
+        roots = list(obs.tracer().drain())
+        if run is not None:
+            roots += run.span_roots()
         n_events = obs.write_chrome_trace(roots, trace_path)
         print(f"trace: {trace_path} ({n_events} events)")
-    return 0 if run.ok else 2
+    return 0 if ok else 2
 
 
 def _campaign_list(args) -> int:

@@ -34,7 +34,10 @@ SPAN_NAMES = frozenset(
         "solver.transient.schedule",
         "solver.batched.simulate",
         "solver.batched.schedule",
+        "solver.analytic.kernel",
+        "solver.analytic.solve",
         "campaign.batch",
+        "campaign.triage",
     }
 )
 
@@ -50,6 +53,13 @@ METRIC_NAMES = frozenset(
         "solver.batched.runs",
         "solver.batched.scenarios",
         "solver.batched.steps",
+        "solver.analytic.kernel_builds",
+        "solver.analytic.kernel_cache_hits",
+        "solver.analytic.solves",
+        "solver.analytic.solve_seconds",
+        "campaign.triage.screened",
+        "campaign.triage.confirmed",
+        "campaign.triage.skipped",
         "campaign.jobs.batched",
         "rcmodel.grid.assemblies",
         "rcmodel.grid.assembly_seconds",

@@ -21,6 +21,14 @@ from .coupled import (
     transient_with_leakage,
 )
 from .adaptive import AdaptiveTransientSolver
+from .analytic import (
+    AnalyticSolution,
+    AnalyticSteadyEngine,
+    accuracy_envelope,
+    analytic_block_temperatures,
+    envelope_bounds,
+    envelope_table,
+)
 
 __all__ = [
     "steady_state",
@@ -40,4 +48,10 @@ __all__ = [
     "steady_state_with_leakage",
     "transient_with_leakage",
     "AdaptiveTransientSolver",
+    "AnalyticSolution",
+    "AnalyticSteadyEngine",
+    "accuracy_envelope",
+    "analytic_block_temperatures",
+    "envelope_bounds",
+    "envelope_table",
 ]

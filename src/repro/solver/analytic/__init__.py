@@ -1,0 +1,54 @@
+"""The analytic (Green's-function / FFT) steady-state engine.
+
+An ``O(N log N)`` spectral alternative to the sparse
+:func:`~repro.solver.steady.steady_state` solve, built from the same
+assembled model (DESIGN.md §8):
+
+* :mod:`~repro.solver.analytic.stack` — reduce the RC grid model to a
+  layered slab (parameters read back from the matrix itself);
+* :mod:`~repro.solver.analytic.images` — method-of-images transforms
+  for the adiabatic lateral walls;
+* :mod:`~repro.solver.analytic.kernel` — per-mode Green's-function
+  responses, content-hash cached;
+* :mod:`~repro.solver.analytic.engine` — the solver: FFT convolution
+  plus a fixed-point correction for non-uniform h(x);
+* :mod:`~repro.solver.analytic.envelope` — measured accuracy envelope
+  against the RC reference.
+"""
+
+from .engine import (
+    AnalyticSolution,
+    AnalyticSteadyEngine,
+    analytic_block_temperatures,
+)
+from .envelope import (
+    EnvelopePoint,
+    accuracy_envelope,
+    default_power_maps,
+    envelope_bounds,
+    envelope_table,
+)
+from .images import even_extend, forward_modes, inverse_modes, neumann_eigenvalues
+from .kernel import SpectralKernel, get_kernel, kernel_cache_clear
+from .stack import SlabStack, StackLayer, stack_from_model
+
+__all__ = [
+    "AnalyticSolution",
+    "AnalyticSteadyEngine",
+    "EnvelopePoint",
+    "SlabStack",
+    "SpectralKernel",
+    "StackLayer",
+    "accuracy_envelope",
+    "analytic_block_temperatures",
+    "default_power_maps",
+    "envelope_bounds",
+    "envelope_table",
+    "even_extend",
+    "forward_modes",
+    "get_kernel",
+    "inverse_modes",
+    "kernel_cache_clear",
+    "neumann_eigenvalues",
+    "stack_from_model",
+]

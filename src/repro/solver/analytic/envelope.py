@@ -1,0 +1,116 @@
+"""Accuracy envelope: the analytic engine measured against the RC solve.
+
+The paper validates its RC model against IR measurement; this module
+plays the same role one level down, validating the analytic engine
+against the RC model it approximates.  :func:`accuracy_envelope`
+sweeps grid sizes and power maps, solves each case with both engines,
+and reports max/mean cell errors — the numbers DESIGN.md §8 tabulates
+and the campaign triage band must dominate for skip decisions to be
+safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...floorplan.block import Floorplan
+from ...package.config import CoolingConfig
+from ...rcmodel.grid import ThermalGridModel
+from .engine import AnalyticSteadyEngine
+
+
+@dataclass(frozen=True)
+class EnvelopePoint:
+    """Analytic-vs-RC agreement for one (grid, power map) case."""
+
+    nx: int
+    ny: int
+    power: str
+    #: Peak RC steady rise, K (the scale errors are judged against).
+    peak_rise_k: float
+    #: Largest absolute cell error on the active layer, K.
+    max_abs_err_k: float
+    #: Mean absolute cell error on the active layer, K.
+    mean_abs_err_k: float
+    #: ``max_abs_err_k / peak_rise_k``.
+    max_rel_err: float
+
+
+def default_power_maps(floorplan: Floorplan) -> Dict[str, Dict[str, float]]:
+    """The standard probe set: uniform, single hot block, checkerboard.
+
+    Uniform power exercises the mode-0 (package resistance) path, a
+    single hot block the localized spreading response, and the
+    checkerboard the highest lateral modes — together they bracket the
+    spectrum a real power map excites.
+    """
+    names = list(floorplan.names)
+    uniform = {name: 2.0 for name in names}
+    hot = {name: (12.0 if i == 0 else 0.5) for i, name in enumerate(names)}
+    checker = {name: (4.0 if i % 2 == 0 else 0.5)
+               for i, name in enumerate(names)}
+    return {"uniform": uniform, "hot_block": hot, "checkerboard": checker}
+
+
+def accuracy_envelope(
+    floorplan: Floorplan,
+    config: CoolingConfig,
+    grid_sizes: Sequence[int] = (8, 16, 32),
+    power_maps: Optional[Dict[str, Dict[str, float]]] = None,
+    h_correction: bool = True,
+) -> List[EnvelopePoint]:
+    """Measure analytic-vs-``steady_state`` agreement over a sweep.
+
+    For every grid size and named block-power map, both engines solve
+    the same model and the active-layer cell rises are compared.
+    Returns one :class:`EnvelopePoint` per case, grid-major.
+    """
+    from ..steady import steady_state
+
+    maps = power_maps if power_maps is not None else default_power_maps(floorplan)
+    points: List[EnvelopePoint] = []
+    for size in grid_sizes:
+        model = ThermalGridModel(floorplan, config, nx=size, ny=size)
+        engine = AnalyticSteadyEngine(model, h_correction=h_correction)
+        for name, block_power in maps.items():
+            reference = model.silicon_cell_rise(
+                steady_state(model.network, model.node_power(block_power))
+            )
+            predicted = engine.solve(block_power).active_rise
+            error = np.abs(predicted - reference)
+            peak = float(reference.max())
+            points.append(EnvelopePoint(
+                nx=size, ny=size, power=name,
+                peak_rise_k=peak,
+                max_abs_err_k=float(error.max()),
+                mean_abs_err_k=float(error.mean()),
+                max_rel_err=float(error.max() / max(peak, 1e-300)),
+            ))
+    return points
+
+
+def envelope_bounds(points: Sequence[EnvelopePoint]) -> Tuple[float, float]:
+    """The envelope itself: worst (max_abs_err_k, max_rel_err) of a sweep."""
+    if not points:
+        return 0.0, 0.0
+    return (max(p.max_abs_err_k for p in points),
+            max(p.max_rel_err for p in points))
+
+
+def envelope_table(points: Sequence[EnvelopePoint]) -> str:
+    """The sweep as a markdown table (what DESIGN.md §8 embeds)."""
+    lines = [
+        "| grid | power map | peak rise (K) | max err (K) "
+        "| mean err (K) | max rel |",
+        "|---|---|---|---|---|---|",
+    ]
+    for p in points:
+        lines.append(
+            f"| {p.nx}x{p.ny} | {p.power} | {p.peak_rise_k:.2f} "
+            f"| {p.max_abs_err_k:.3g} | {p.mean_abs_err_k:.3g} "
+            f"| {100.0 * p.max_rel_err:.2f}% |"
+        )
+    return "\n".join(lines)

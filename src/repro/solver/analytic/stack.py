@@ -1,0 +1,232 @@
+"""Layer-stack extraction for the analytic steady-state engine.
+
+The spectral Green's-function solver (DESIGN.md §8) needs the grid
+model reduced to a *layered slab*: per layer, one lateral conductance
+per axis, one vertical coupling to each neighbour, and a per-cell
+conductance to ambient.  Rather than re-deriving those numbers from
+material tables — and risking drift against the RC assembly — this
+module reads them back out of the assembled
+:class:`~repro.rcmodel.grid.ThermalGridModel` matrix, so the analytic
+engine solves, by construction, the same physics the RC model encodes.
+
+Two departures from a pure slab are captured explicitly:
+
+* **Non-uniform ambient conductance** (the oil h(x) profile of the
+  paper's Eqns 7-8): split into its mean, which enters the spectral
+  kernel, and a per-cell fluctuation field the engine corrects for
+  iteratively.
+* **Rim rings** (spreader/sink/PCB overhang nodes): Schur-eliminated
+  into a small per-layer port admittance.  Under the isothermal-rim
+  approximation the full Schur complement loads only the spatially
+  uniform mode; the remaining modes see the rim as a diagonal load
+  (see :mod:`repro.solver.analytic.kernel`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import SolverError
+from ...rcmodel.grid import ThermalGridModel
+
+#: Relative tolerance below which a per-cell ambient field counts as
+#: uniform (no correction iteration needed).
+_UNIFORM_RTOL = 1e-12
+
+
+@dataclass(frozen=True, eq=False)
+class StackLayer:
+    """One layer of the extracted slab, in chain (bottom-to-top) order."""
+
+    name: str
+    #: Conductance between laterally adjacent cells, W/K (0 when the
+    #: grid has a single cell along that axis).
+    g_lateral_x: float
+    g_lateral_y: float
+    #: Mean per-cell conductance to ambient, W/K.
+    ambient_mean: float
+    #: Per-cell fluctuation around the mean (flat, grid order), or
+    #: ``None`` when the layer's ambient load is uniform.
+    ambient_delta: Optional[np.ndarray]
+
+
+@dataclass(frozen=True, eq=False)
+class SlabStack:
+    """The layered-slab reduction of one thermal grid model."""
+
+    nx: int
+    ny: int
+    layers: Tuple[StackLayer, ...]
+    #: Vertical coupling between chain neighbours, W/K, length L-1.
+    g_vertical: np.ndarray
+    #: Chain index of the active (power-injection) silicon layer.
+    active_index: int
+    #: Chain index of the die back surface (IR-observed) layer.
+    surface_index: int
+    #: Total rim coupling per layer (W/K, length L; zero without rims).
+    rim_load: np.ndarray
+    #: Uniform-mode Schur correction ``-W A_RR^-1 W^T`` (L x L), or
+    #: ``None`` when the model has no rim nodes.
+    rim_schur: Optional[np.ndarray]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers in the chain."""
+        return len(self.layers)
+
+    @property
+    def n_cells(self) -> int:
+        """Cells per layer (``nx * ny``)."""
+        return self.nx * self.ny
+
+    @property
+    def nonuniform_indices(self) -> Tuple[int, ...]:
+        """Chain indices whose ambient load varies across cells."""
+        return tuple(
+            i for i, layer in enumerate(self.layers)
+            if layer.ambient_delta is not None
+        )
+
+    @property
+    def injection_indices(self) -> Tuple[int, ...]:
+        """Chain indices the kernel must store response columns for:
+        the active layer plus every non-uniform-ambient layer."""
+        return tuple(sorted({self.active_index, *self.nonuniform_indices}))
+
+    @property
+    def kernel_fingerprint(self) -> str:
+        """Content hash of everything the spectral kernel depends on.
+
+        Mirrors the discipline of
+        :func:`repro.solver.steady.system_fingerprint`: two stacks
+        share a fingerprint iff they produce identical kernels.  The
+        per-cell ambient fluctuations are deliberately excluded — they
+        enter at apply time, not kernel-build time — which is what lets
+        e.g. the four Fig. 11 flow directions share one kernel.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((self.nx, self.ny, self.n_layers,
+                            self.active_index, self.surface_index,
+                            self.injection_indices)).encode())
+        for layer in self.layers:
+            digest.update(layer.name.encode())
+            digest.update(np.array(
+                [layer.g_lateral_x, layer.g_lateral_y, layer.ambient_mean]
+            ).tobytes())
+        digest.update(np.ascontiguousarray(self.g_vertical).tobytes())
+        digest.update(np.ascontiguousarray(self.rim_load).tobytes())
+        if self.rim_schur is not None:
+            digest.update(np.ascontiguousarray(self.rim_schur).tobytes())
+        return digest.hexdigest()
+
+
+def _chain_layer_names(model: ThermalGridModel) -> List[str]:
+    """Layer names bottom-to-top: secondary (reversed), die, primary."""
+    names: List[str] = []
+    if model.config.secondary is not None:
+        names.extend(
+            layer.name for layer in reversed(model.config.secondary.layers)
+        )
+    for s in range(model.silicon_sublayers):
+        names.append("silicon" if s == 0 else f"silicon_sub{s}")
+    names.extend(layer.name for layer in model.config.layers_above)
+    return names
+
+
+def _entry(matrix: "np.ndarray", row: int, col: int) -> float:
+    """One scalar entry of a CSR matrix."""
+    return float(matrix[row, col])
+
+
+def stack_from_model(model: ThermalGridModel) -> SlabStack:
+    """Extract the layered-slab parameters from an assembled grid model.
+
+    Every number is read from the model's own system matrix and ambient
+    vector, so the extraction cannot drift from the RC assembly.  Rim
+    ring nodes (layers overhanging the die footprint) are eliminated
+    exactly at the uniform mode via a Schur complement on the rim
+    submatrix.
+    """
+    matrix = model.network.system_matrix.tocsr()
+    ambient = model.network.ambient_conductance
+    mapping = model.mapping
+    nx, ny = mapping.nx, mapping.ny
+    n_cells = mapping.n_cells
+
+    names = _chain_layer_names(model)
+    node_sets = []
+    for name in names:
+        try:
+            node_sets.append(model.layer_nodes[name].grid_nodes)
+        except KeyError:
+            raise SolverError(
+                f"model has no assembled layer {name!r}; cannot build the "
+                "analytic stack"
+            ) from None
+
+    layers: List[StackLayer] = []
+    for name, nodes in zip(names, node_sets):
+        g_x = -_entry(matrix, int(nodes[0]), int(nodes[1])) if nx > 1 else 0.0
+        g_y = -_entry(matrix, int(nodes[0]), int(nodes[nx])) if ny > 1 else 0.0
+        if g_x < 0.0 or g_y < 0.0:
+            raise SolverError(
+                f"layer {name!r} has negative lateral coupling; the model "
+                "is not a stacked grid the analytic engine understands"
+            )
+        cell_ambient = np.asarray(ambient[nodes], dtype=float)
+        mean = float(cell_ambient.mean())
+        delta = cell_ambient - mean
+        scale = max(mean, float(np.abs(cell_ambient).max()), 1e-300)
+        uniform = float(np.abs(delta).max()) <= _UNIFORM_RTOL * scale
+        layers.append(StackLayer(
+            name=name, g_lateral_x=g_x, g_lateral_y=g_y,
+            ambient_mean=mean, ambient_delta=None if uniform else delta,
+        ))
+
+    g_vertical = np.empty(len(names) - 1)
+    for i in range(len(names) - 1):
+        below, above = node_sets[i], node_sets[i + 1]
+        g = -_entry(matrix, int(below[0]), int(above[0]))
+        if g <= 0.0:
+            raise SolverError(
+                f"layers {names[i]!r} and {names[i + 1]!r} are not "
+                "vertically coupled; the chain extraction failed"
+            )
+        g_vertical[i] = g
+
+    rim_load = np.zeros(len(names))
+    rim_schur: Optional[np.ndarray] = None
+    grid_mask = np.zeros(model.network.n_nodes, dtype=bool)
+    for nodes in node_sets:
+        grid_mask[nodes] = True
+    rim_index = np.where(~grid_mask)[0]
+    if rim_index.size:
+        rim_rows = matrix[rim_index]
+        coupling = np.empty((len(names), rim_index.size))
+        for i, nodes in enumerate(node_sets):
+            block = rim_rows[:, nodes]
+            coupling[i] = -np.asarray(block.sum(axis=1)).ravel()
+        rim_load = coupling.sum(axis=1)
+        a_rr = np.asarray(rim_rows[:, rim_index].todense(), dtype=float)
+        try:
+            solved = np.linalg.solve(a_rr, coupling.T)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                f"rim elimination failed (singular rim block): {exc}"
+            ) from exc
+        rim_schur = -coupling @ solved
+
+    active_index = names.index("silicon")
+    surface_name = ("silicon" if model.silicon_sublayers == 1
+                    else f"silicon_sub{model.silicon_sublayers - 1}")
+    surface_index = names.index(surface_name)
+
+    return SlabStack(
+        nx=nx, ny=ny, layers=tuple(layers), g_vertical=g_vertical,
+        active_index=active_index, surface_index=surface_index,
+        rim_load=rim_load, rim_schur=rim_schur,
+    )

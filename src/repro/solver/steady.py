@@ -78,6 +78,11 @@ def steady_state(network: ThermalNetwork, node_power: np.ndarray) -> np.ndarray:
             f"power vector has shape {node_power.shape}, "
             f"expected ({network.n_nodes},)"
         )
+    if not np.all(np.isfinite(node_power)):
+        raise SolverError(
+            "power vector contains non-finite values (NaN/Inf); "
+            "check the block power map before solving"
+        )
     t0 = time.perf_counter()
     with obs.span("solver.steady.solve", n_nodes=network.n_nodes):
         rise = _factorize(network).solve(node_power)

@@ -333,15 +333,32 @@ def transient_simulate(
     stepper = stepper_cls(network, dt)
 
     n_steps = n_full + (1 if dt_final is not None else 0)
+    def checked_power(values: Any, t: float) -> np.ndarray:
+        vector = np.asarray(values, dtype=float)
+        if vector.shape != (network.n_nodes,):
+            raise SolverError(
+                f"power vector at t={t:g} has shape {vector.shape}, "
+                f"expected ({network.n_nodes},)"
+            )
+        if not np.all(np.isfinite(vector)):
+            raise SolverError(
+                f"power vector at t={t:g} contains non-finite values "
+                "(NaN/Inf); check the power schedule before simulating"
+            )
+        return vector
+
     if callable(power):
-        power_at = power
+        schedule = power
+        power_at = lambda t: checked_power(schedule(t), t)  # noqa: E731
     else:
-        constant = np.asarray(power, dtype=float)
+        constant = checked_power(power, 0.0)
         power_at = lambda _t: constant  # noqa: E731 - trivial closure
 
     x = np.zeros(network.n_nodes) if x0 is None else np.asarray(x0, float).copy()
     if x.shape != (network.n_nodes,):
         raise SolverError(f"x0 has shape {x.shape}, expected ({network.n_nodes},)")
+    if not np.all(np.isfinite(x)):
+        raise SolverError("x0 contains non-finite values (NaN/Inf)")
 
     def observe(state: np.ndarray) -> np.ndarray:
         return projector(state) if projector is not None else state.copy()

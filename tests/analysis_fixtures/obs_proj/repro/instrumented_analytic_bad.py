@@ -1,0 +1,16 @@
+"""R8 positive fixture: near-miss analytic/triage taxonomy names."""
+
+
+def screen(obs, registry):
+    # BUG: registered name is 'campaign.triage.screened'
+    registry.counter("campaign.triage.screens").add(1)
+    # BUG: the span family is 'campaign.triage', not '.screen'
+    with obs.span("campaign.triage.screen"):
+        pass
+
+
+def solve(obs, registry):
+    # BUG: registered name is 'solver.analytic.kernel_cache_hits'
+    registry.counter("solver.analytic.cache_hits").add(1)
+    # BUG: 'solver.analytic.' is not a registered dynamic prefix
+    registry.histogram(f"solver.analytic.{solve.__name__}_seconds").observe(0.1)

@@ -1,0 +1,18 @@
+"""R8 negative fixture: the analytic/triage taxonomy names, used well."""
+
+
+def screen(obs, registry):
+    registry.counter("campaign.triage.screened").add(1)
+    with obs.span("campaign.triage") as span:
+        span.set("skipped", 3)
+        registry.counter("campaign.triage.skipped").add(3)
+        registry.counter("campaign.triage.confirmed").add(1)
+
+
+def solve(obs, registry):
+    with obs.span("solver.analytic.kernel"):
+        registry.counter("solver.analytic.kernel_builds").add(1)
+    with obs.span("solver.analytic.solve"):
+        registry.counter("solver.analytic.solves").add(1)
+        registry.histogram("solver.analytic.solve_seconds").observe(0.001)
+    registry.counter("solver.analytic.kernel_cache_hits").add(1)

@@ -1,0 +1,250 @@
+"""The analytic (Green's-function / FFT) steady engine.
+
+Pins the accuracy contract of DESIGN.md §8: exactness (to roundoff)
+on rim-free configurations, convergence of the non-uniform h(x)
+fixed-point correction, the measured few-percent envelope on
+overhanging (rimmed) packages, kernel caching, and input guards.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import SolverError
+from repro.floorplan import ev6_floorplan
+from repro.package import air_sink_package, oil_silicon_package
+from repro.rcmodel import ThermalGridModel
+from repro.solver import steady_block_temperatures, steady_state
+from repro.solver.analytic import (
+    AnalyticSteadyEngine,
+    accuracy_envelope,
+    analytic_block_temperatures,
+    envelope_bounds,
+    envelope_table,
+    even_extend,
+    forward_modes,
+    get_kernel,
+    inverse_modes,
+    kernel_cache_clear,
+    neumann_eigenvalues,
+    stack_from_model,
+)
+from repro.units import celsius_to_kelvin
+
+PLAN = ev6_floorplan()
+W, H = PLAN.die_width, PLAN.die_height
+
+
+def _gcc_like_power():
+    rng = np.random.default_rng(7)
+    return {name: float(p) for name, p in
+            zip(PLAN.names, rng.uniform(0.5, 8.0, len(PLAN.names)))}
+
+
+def _rc_cell_rise(model, block_power):
+    return model.silicon_cell_rise(
+        steady_state(model.network, model.node_power(block_power))
+    )
+
+
+# -- spectral transforms -----------------------------------------------------
+
+def test_even_extension_round_trips():
+    rng = np.random.default_rng(0)
+    field = rng.normal(size=(6, 9))
+    extended = even_extend(field)
+    assert extended.shape == (12, 18)
+    # mirror symmetry about both half-sample axes
+    np.testing.assert_allclose(extended, extended[::-1, :])
+    np.testing.assert_allclose(extended, extended[:, ::-1])
+    modes = forward_modes(field)
+    np.testing.assert_allclose(inverse_modes(modes, 6, 9), field, atol=1e-12)
+
+
+def test_neumann_eigenvalues_match_closed_form():
+    n = 8
+    lam = neumann_eigenvalues(n, 2 * n)
+    assert lam[0] == 0.0  # repro-ok: float-equality
+    q = np.arange(2 * n)
+    np.testing.assert_allclose(lam, 4.0 * np.sin(np.pi * q / (2 * n)) ** 2,
+                               atol=1e-12)
+
+
+# -- exactness on rim-free configurations ------------------------------------
+
+def test_exact_on_rim_free_uniform_h():
+    """No overhang + uniform h: the spectral basis is exact, not approximate."""
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=16, ny=16)
+    power = _gcc_like_power()
+    reference = _rc_cell_rise(model, power)
+    solution = AnalyticSteadyEngine(model).solve(power)
+    assert solution.converged and solution.iterations == 0
+    np.testing.assert_allclose(solution.active_rise, reference,
+                               rtol=1e-9, atol=1e-9)
+
+
+def test_exact_on_rim_free_nonuniform_h():
+    """The h(x) fixed-point correction converges to the exact answer."""
+    config = oil_silicon_package(W, H, uniform_h=False,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=16, ny=16)
+    power = _gcc_like_power()
+    reference = _rc_cell_rise(model, power)
+    solution = AnalyticSteadyEngine(model).solve(power)
+    assert solution.converged
+    assert 0 < solution.iterations <= 60
+    scale = float(np.abs(reference).max())
+    assert float(np.abs(solution.active_rise - reference).max()) < 1e-6 * scale
+
+
+def test_h_correction_flag_matters():
+    """Without the correction a non-uniform boundary is mean-h only."""
+    config = oil_silicon_package(W, H, uniform_h=False,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=16, ny=16)
+    power = _gcc_like_power()
+    reference = _rc_cell_rise(model, power)
+    corrected = AnalyticSteadyEngine(model, h_correction=True).solve(power)
+    mean_only = AnalyticSteadyEngine(model, h_correction=False).solve(power)
+    assert mean_only.iterations == 0
+    err_corrected = float(np.abs(corrected.active_rise - reference).max())
+    err_mean = float(np.abs(mean_only.active_rise - reference).max())
+    assert err_mean > 100 * err_corrected
+
+
+# -- rimmed (overhanging) packages: the documented envelope ------------------
+
+@pytest.mark.parametrize("config_name", ["oil_secondary", "air_sink"])
+def test_rimmed_packages_stay_inside_envelope(config_name):
+    """Overhang handled via rim Schur elimination: few-percent accurate."""
+    if config_name == "oil_secondary":
+        config = oil_silicon_package(W, H, uniform_h=True,
+                                     include_secondary=True)
+    else:
+        config = air_sink_package(W, H, convection_resistance=1.0)
+    model = ThermalGridModel(PLAN, config, nx=16, ny=16)
+    power = _gcc_like_power()
+    reference = _rc_cell_rise(model, power)
+    predicted = AnalyticSteadyEngine(model).solve(power).active_rise
+    peak = float(reference.max())
+    rel = float(np.abs(predicted - reference).max()) / peak
+    # measured ~2.5% on both packages; pin the documented 5% envelope
+    # and that it is a genuine approximation (not accidentally exact)
+    assert rel < 0.05
+    assert rel > 1e-6
+    assert abs(float(predicted.max()) - peak) / peak < 0.05
+
+
+def test_surface_field_shape_and_smoothing():
+    """The engine also returns the IR-visible die back-surface field."""
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=16, ny=16)
+    solution = AnalyticSteadyEngine(model).solve(_gcc_like_power())
+    assert solution.surface_rise.shape == solution.active_rise.shape
+    assert np.all(np.isfinite(solution.surface_rise))
+    # vertical conduction smooths the field: smaller spatial spread
+    spread = lambda f: float(f.max() - f.min())  # noqa: E731
+    assert spread(solution.surface_rise) <= spread(solution.active_rise)
+
+
+def test_block_temperatures_match_steady_solver():
+    """analytic_block_temperatures mirrors steady_block_temperatures."""
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=16, ny=16)
+    power = _gcc_like_power()
+    reference = steady_block_temperatures(model, power)
+    predicted = analytic_block_temperatures(model, power)
+    assert set(predicted) == set(reference)
+    for name in reference:
+        assert predicted[name] == pytest.approx(reference[name], abs=1e-6)
+        assert predicted[name] > celsius_to_kelvin(45.0)
+
+
+# -- kernel cache ------------------------------------------------------------
+
+def test_kernel_cache_hits_on_same_fingerprint():
+    kernel_cache_clear()
+    builds = obs.metrics().counter("solver.analytic.kernel_builds")
+    hits = obs.metrics().counter("solver.analytic.kernel_cache_hits")
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+    b0, h0 = builds.value, hits.value
+    first = AnalyticSteadyEngine(model)
+    assert builds.value == b0 + 1
+    second = AnalyticSteadyEngine(
+        ThermalGridModel(PLAN, config, nx=8, ny=8)
+    )
+    assert builds.value == b0 + 1  # same fingerprint: no rebuild
+    assert hits.value == h0 + 1
+    assert second.kernel is first.kernel
+    # a different grid is a different kernel
+    AnalyticSteadyEngine(ThermalGridModel(PLAN, config, nx=12, ny=12))
+    assert builds.value == b0 + 2
+
+
+def test_flow_directions_share_one_kernel():
+    """δh is excluded from the fingerprint: fig11's 4 directions, 1 build."""
+    from repro.convection.flow import ALL_DIRECTIONS
+
+    kernel_cache_clear()
+    fingerprints = set()
+    kernels = set()
+    for direction in ALL_DIRECTIONS:
+        config = oil_silicon_package(W, H, direction=direction,
+                                     include_secondary=False)
+        model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+        stack = stack_from_model(model)
+        fingerprints.add(stack.kernel_fingerprint)
+        kernels.add(id(get_kernel(stack)))
+    assert len(fingerprints) == 1
+    assert len(kernels) == 1
+
+
+# -- guards ------------------------------------------------------------------
+
+def test_rejects_wrong_shape_and_nonfinite_power():
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+    engine = AnalyticSteadyEngine(model)
+    with pytest.raises(SolverError, match="shape"):
+        engine.solve_cells(np.ones(7))
+    bad = np.ones(model.mapping.n_cells)
+    bad[3] = np.nan
+    with pytest.raises(SolverError, match="non-finite"):
+        engine.solve_cells(bad)
+    with pytest.raises(SolverError):
+        AnalyticSteadyEngine(model, max_iterations=0)
+    with pytest.raises(SolverError):
+        AnalyticSteadyEngine(model, rtol=0.0)
+
+
+# -- the envelope module -----------------------------------------------------
+
+def test_accuracy_envelope_sweep():
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    points = accuracy_envelope(PLAN, config, grid_sizes=(8,))
+    assert {p.power for p in points} == {"uniform", "hot_block",
+                                         "checkerboard"}
+    worst_abs, worst_rel = envelope_bounds(points)
+    # rim-free: exact to roundoff across all probe maps
+    assert worst_rel < 1e-9
+    assert worst_abs < 1e-6
+    table = envelope_table(points)
+    assert "| grid | power map |" in table
+    assert "8x8" in table
+    assert envelope_bounds([]) == (0.0, 0.0)
+
+
+def test_accuracy_envelope_rimmed_is_approximate():
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=True)
+    points = accuracy_envelope(PLAN, config, grid_sizes=(8,))
+    _, worst_rel = envelope_bounds(points)
+    assert 1e-6 < worst_rel < 0.05

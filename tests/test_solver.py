@@ -260,3 +260,39 @@ def test_near_aligned_ratio_treated_as_aligned():
     assert n_full == 3 and dt_final is None
     n_full, dt_final = plan_fixed_steps(1.0, 0.3)
     assert n_full == 3 and dt_final == pytest.approx(0.1)
+
+
+def test_steady_rejects_nonfinite_power():
+    """NaN/Inf in the power map must fail loudly, not propagate."""
+    net = single_rc()
+    for bad in (np.array([np.nan]), np.array([np.inf]), np.array([-np.inf])):
+        with pytest.raises(SolverError, match="non-finite"):
+            steady_state(net, bad)
+
+
+def test_transient_rejects_nonfinite_inputs():
+    net = single_rc()
+    with pytest.raises(SolverError, match="non-finite"):
+        transient_simulate(net, np.array([np.nan]), t_end=1.0, dt=0.1)
+    with pytest.raises(SolverError, match="non-finite"):
+        transient_simulate(net, np.array([1.0]), t_end=1.0, dt=0.1,
+                          x0=np.array([np.inf]))
+    with pytest.raises(SolverError, match="shape"):
+        transient_simulate(net, np.ones(3), t_end=1.0, dt=0.1)
+
+
+def test_transient_rejects_nonfinite_schedule_mid_run():
+    """A power callable going NaN at step k fails at step k, loudly."""
+    net = single_rc()
+
+    def schedule(t):
+        return np.array([np.nan if t > 0.5 else 1.0])
+
+    with pytest.raises(SolverError, match=r"t=0\.6.*non-finite"):
+        transient_simulate(net, schedule, t_end=1.0, dt=0.1)
+
+    def bad_shape(t):
+        return np.ones(2) if t > 0.5 else np.array([1.0])
+
+    with pytest.raises(SolverError, match="shape"):
+        transient_simulate(net, bad_shape, t_end=1.0, dt=0.1)

@@ -286,6 +286,27 @@ def test_r8_negative_fixture():
     assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
 
 
+def test_r8_flags_misnamed_analytic_and_triage_instrumentation():
+    """Near-misses of the solver.analytic/campaign.triage names fail."""
+    source = SourceFile.from_path(
+        str(FIXTURES / "obs_proj" / "repro" / "instrumented_analytic_bad.py")
+    )
+    findings = analyze_file(source, make_rules(["obs-taxonomy"]))
+    messages = " | ".join(f.message for f in findings)
+    assert "'campaign.triage.screens'" in messages
+    assert "'campaign.triage.screen'" in messages
+    assert "'solver.analytic.cache_hits'" in messages
+    assert "dynamic metric name" in messages
+    assert len([f for f in findings if f.severity == "error"]) == 3
+
+
+def test_r8_accepts_registered_analytic_and_triage_names():
+    source = SourceFile.from_path(
+        str(FIXTURES / "obs_proj" / "repro" / "instrumented_analytic_ok.py")
+    )
+    assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
+
+
 def test_r8_ignores_code_outside_the_repro_package():
     code = 'def f(reg):\n    reg.counter("totally.unregistered").add(1)\n'
     source = SourceFile("snippet.py", code)

@@ -1,0 +1,228 @@
+"""Analytic pre-screening triage for campaigns.
+
+Pins the triage contract: the skip rule is one-sided (only
+clearly-uninteresting points are skipped), confirmed points get real
+RC solves identical to an untriaged run, cached points bypass the
+screen, unsupported kinds dispatch unconditionally, and the skipped
+outcomes are clearly labelled as analytic predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.campaign import (
+    CampaignSpec,
+    JobSpec,
+    ResultCache,
+    TriageSettings,
+    read_manifest,
+    run_campaign,
+    run_campaign_triaged,
+)
+from repro.errors import CampaignError
+from repro.experiments.design_space import design_space_campaign
+from repro.experiments.fig11 import fig11_campaign, run_fig11
+from repro.units import ZERO_CELSIUS_IN_KELVIN
+
+
+def _fig11(nx=8):
+    return fig11_campaign(nx=nx, ny=nx, instructions=20000)
+
+
+def _design_space(nx=8):
+    return design_space_campaign(nx=nx, ny=nx, instructions=20000,
+                                 pulse_t_end=0.05, pulse_dt=2e-3)
+
+
+def _counter(name):
+    return obs.metrics().counter(name).value
+
+
+def test_settings_validation():
+    assert TriageSettings(threshold=85.0, band=5.0).cutoff == 80.0  # repro-ok: float-equality
+    with pytest.raises(CampaignError, match="metric"):
+        TriageSettings(threshold=85.0, metric="vibes")
+    with pytest.raises(CampaignError, match="band"):
+        TriageSettings(threshold=85.0, band=-1.0)
+    with pytest.raises(CampaignError, match="nx"):
+        TriageSettings(threshold=85.0, nx=-4)
+
+
+def test_all_skipped_when_threshold_unreachable():
+    """Cool sweep + high threshold: zero RC solves, labelled predictions."""
+    before = _counter("campaign.triage.skipped")
+    triaged = run_campaign_triaged(
+        _fig11(), TriageSettings(threshold=200.0, band=5.0)
+    )
+    assert triaged.run is None
+    assert triaged.ok
+    assert triaged.n_screened == 4
+    assert triaged.n_skipped == 4
+    assert triaged.n_confirmed == 0
+    assert _counter("campaign.triage.skipped") == before + 4
+    for outcome in triaged.outcomes:
+        assert outcome.status == "screened"
+        assert outcome.worker == "analytic"
+        result = triaged.result_for(outcome.spec.tag)
+        assert result.meta["engine"] == "analytic"
+        assert result.scalars["t_max_k"] > result.scalars["t_min_k"]
+        assert len(result.arrays["block_temps_k"]) == len(
+            result.meta["block_names"]
+        )
+
+
+def test_all_dispatched_when_threshold_trivial():
+    triaged = run_campaign_triaged(
+        _fig11(), TriageSettings(threshold=0.0, band=0.0)
+    )
+    assert triaged.run is not None
+    assert triaged.n_confirmed == 4 and triaged.n_skipped == 0
+    assert triaged.ok
+    assert all(d.reason == "interesting" for d in triaged.decisions)
+    assert all(o.status == "ok" for o in triaged.outcomes)
+
+
+def test_confirmed_points_match_untriaged_run(tmp_path):
+    """The zero-missed-crossings guarantee on the design-space sweep.
+
+    Every package whose *true* (RC) peak crosses the threshold must be
+    dispatched, and its triaged result must be bit-identical to the
+    untriaged run's.
+    """
+    spec = _design_space()
+    threshold, band = 70.0, 10.0
+    full = run_campaign(spec, cache=ResultCache(tmp_path / "full"))
+    triaged = run_campaign_triaged(
+        spec, TriageSettings(threshold=threshold, band=band),
+        cache=ResultCache(tmp_path / "triaged"),
+    )
+    assert triaged.ok
+    confirmed = set(triaged.confirmed_tags)
+    for job in spec.jobs:
+        result = full.result_for(job.tag)
+        tmax_c = (result.scalars["tmax"] + result.meta["ambient_k"]
+                  - ZERO_CELSIUS_IN_KELVIN)
+        if tmax_c >= threshold:
+            # a true crossing must never be screened out ...
+            assert job.tag in confirmed
+        if job.tag in confirmed:
+            # ... and dispatched jobs ran the real RC solve
+            assert triaged.result_for(job.tag).same_values(result)
+            assert triaged.decision_for(job.tag).reason == "interesting"
+    # the screen is selective, not a pass-through
+    assert 0 < triaged.n_skipped < len(spec.jobs)
+
+
+def test_cached_jobs_bypass_the_screen(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    run_campaign(_fig11(), cache=cache)  # warm the cache with RC truth
+    screened_before = _counter("campaign.triage.screened")
+    triaged = run_campaign_triaged(
+        _fig11(), TriageSettings(threshold=200.0, band=5.0), cache=cache
+    )
+    # nothing was screened: every job probe hit, dispatch is free
+    assert _counter("campaign.triage.screened") == screened_before
+    assert triaged.n_skipped == 0
+    assert all(d.reason == "cached" for d in triaged.decisions)
+    assert triaged.run is not None
+    assert all(o.status == "cached" for o in triaged.run.outcomes)
+    # and the cached results are RC truth, not analytic predictions
+    for job in _fig11().jobs:
+        assert "engine" not in triaged.result_for(job.tag).meta
+
+
+def test_unsupported_kinds_dispatch_unconditionally():
+    spec = CampaignSpec(name="mixed", jobs=(
+        JobSpec.make("diagnostic", tag="probe", value=1.5),
+    ))
+    triaged = run_campaign_triaged(
+        spec, TriageSettings(threshold=200.0, band=5.0)
+    )
+    assert triaged.n_screened == 0
+    assert triaged.decision_for("probe").reason == "unsupported"
+    assert triaged.outcome_for("probe").status == "ok"
+
+
+def test_gradient_metric_screens_on_spread():
+    triaged = run_campaign_triaged(
+        _fig11(), TriageSettings(threshold=500.0, band=0.0,
+                                 metric="gradient")
+    )
+    assert triaged.n_skipped == 4
+    for decision in triaged.decisions:
+        assert decision.predicted is not None
+        assert 0.0 < decision.predicted < 100.0  # a spread in K, not °C
+
+
+def test_screened_jobs_land_in_the_manifest(tmp_path):
+    manifest = tmp_path / "run.jsonl"
+    run_campaign_triaged(
+        _fig11(), TriageSettings(threshold=200.0, band=5.0),
+        manifest_path=str(manifest),
+    )
+    records = [r for r in read_manifest(manifest) if r["type"] == "job"]
+    assert len(records) == 4
+    assert all(r["status"] == "screened" for r in records)
+    assert all(r["worker"] == "analytic" for r in records)
+
+
+def test_lookup_errors_on_unknown_tag():
+    triaged = run_campaign_triaged(
+        _fig11(), TriageSettings(threshold=200.0, band=5.0)
+    )
+    with pytest.raises(CampaignError, match="no job tagged"):
+        triaged.outcome_for("nope")
+    with pytest.raises(CampaignError, match="no job tagged"):
+        triaged.decision_for("nope")
+
+
+def test_run_fig11_accepts_triage():
+    """The experiment wrapper returns usable temperatures either way."""
+    full = run_fig11(nx=8, ny=8, instructions=20000)
+    screened = run_fig11(nx=8, ny=8, instructions=20000,
+                         triage=TriageSettings(threshold=200.0, band=5.0))
+    for direction, temps in full.temps_c.items():
+        predicted = screened.temps_c[direction]
+        for unit, t_c in temps.items():
+            # analytic screen at nx=8 on the job's own grid: tight match
+            assert predicted[unit] == pytest.approx(t_c, abs=2.0)
+        assert screened.hottest(direction) == full.hottest(direction)
+
+
+def test_run_design_space_labels_engines(tmp_path):
+    from repro.experiments.design_space import run_design_space
+
+    points = run_design_space(
+        nx=8, ny=8, instructions=20000, pulse_t_end=0.05, pulse_dt=2e-3,
+        triage=TriageSettings(threshold=70.0, band=10.0),
+    )
+    engines = {name: p.engine for name, p in points.items()}
+    assert set(engines.values()) == {"rc", "analytic"}
+    for point in points.values():
+        if point.engine == "analytic":
+            assert np.isnan(point.t63)  # the screen is steady-only
+        else:
+            assert np.isfinite(point.t63)
+
+
+def test_cli_triage_skips_and_dispatches(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "machine"))
+    monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+    from repro.cli import main
+
+    base = [
+        "campaign", "run", "fig11", "--triage",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--manifest", str(tmp_path / "run.jsonl"),
+        "-P", "nx=8", "-P", "instructions=20000",
+    ]
+    assert main(base + ["--triage-threshold", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "4 skipped, 0 dispatched" in out
+    assert "0 jobs dispatched (all screened out analytically)" in out
+
+    assert main(base + ["--triage-threshold", "0", "--triage-band", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "0 skipped, 4 dispatched" in out
+    assert "4/4 jobs ok" in out
