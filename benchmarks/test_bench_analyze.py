@@ -16,7 +16,7 @@ tracked number alongside the physics benches:
 import os
 import time
 
-from repro.analysis.static import analyze_paths
+from repro.analysis.static import analyze_paths, rule_names
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
@@ -29,6 +29,12 @@ def _timed(**kwargs):
 
 
 def test_bench_analyze_cold_warm_parallel(benchmark, tmp_path):
+    # the timed runs must include the v3 array-contract rules: the
+    # warm-cache gate below is only meaningful if R9-R11 ride the
+    # default ruleset (shape tables are part of the cache key)
+    assert {"shape-flow", "cache-alias-mutation", "dtype-flow"} <= set(
+        rule_names()
+    )
     cache_dir = str(tmp_path / "analysis-cache")
     workers = min(4, os.cpu_count() or 1)
 

@@ -1,6 +1,6 @@
 """Physics-aware static analysis for the reproduction codebase.
 
-An AST-based checker with eight rules, each mapped to a real failure
+An AST-based checker with eleven rules, each mapped to a real failure
 mode of this repository (see DESIGN.md, "Static analysis"):
 
 * ``unit-consistency`` (R1) — dimension mismatches and magic material
@@ -20,9 +20,21 @@ mode of this repository (see DESIGN.md, "Static analysis"):
 * ``pool-safety`` (R7) — functions reachable from campaign pool
   workers mutating module-level or closed-over state;
 * ``obs-taxonomy`` (R8) — span/metric names outside the
-  :mod:`repro.obs.taxonomy` registry, spans opened outside ``with``.
+  :mod:`repro.obs.taxonomy` registry, spans opened outside ``with``;
+* ``shape-flow`` (R9) — *interprocedural* symbolic array-shape
+  mismatches: a ``(K, n_nodes)`` state passed where ``(n_nodes, K)``
+  is declared, returns contradicting their ``units.array_shape``
+  annotation, provably incompatible broadcasts;
+* ``cache-alias-mutation`` (R10) — in-place mutation (aug-assign,
+  slice assignment, ``out=``, mutating methods) of arrays aliasing
+  process-wide caches (the analytic kernel LRU, the steady LU factor
+  cache) without an intervening ``.copy()``;
+* ``dtype-flow`` (R11) — complex leakage past an ``irfft2``/``.real``
+  boundary, silent float32 downcasts into declared-float64 solver
+  state, true division over grid-dimension tokens.
 
-R6 and R7 are whole-program rules (:class:`ProjectRule`): the runner
+R6/R7 and the array-contract rules R9–R11 are whole-program rules
+(:class:`ProjectRule`): the runner
 compiles every file to a cacheable module summary, links a project
 symbol table and call graph, propagates dimension signatures to a
 fixpoint, then checks flows across module boundaries.  Per-file
@@ -35,6 +47,7 @@ baseline, CI gating) or programmatically through
 :func:`analyze_paths`.
 """
 
+from .arrays import ArrayValue, broadcast_shapes, eval_adesc, join_dtype
 from .baseline import DEFAULT_BASELINE, Baseline, finding_fingerprint
 from .cache import AnalysisCache, config_fingerprint
 from .callgraph import CallGraph, ModuleSummary, SymbolTable, extract_summary
@@ -63,6 +76,7 @@ from .runner import (
 __all__ = [
     "AnalysisCache",
     "AnalysisResult",
+    "ArrayValue",
     "Baseline",
     "CallGraph",
     "DEFAULT_BASELINE",
@@ -79,7 +93,9 @@ __all__ = [
     "SymbolTable",
     "analyze_file",
     "analyze_paths",
+    "broadcast_shapes",
     "build_project",
+    "eval_adesc",
     "canonical_rule_name",
     "config_fingerprint",
     "extract_summary",
@@ -89,6 +105,7 @@ __all__ = [
     "format_text",
     "git_changed_files",
     "iter_python_files",
+    "join_dtype",
     "make_rules",
     "parse_dimension",
     "rule_names",

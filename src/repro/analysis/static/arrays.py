@@ -1,0 +1,647 @@
+"""Symbolic array contracts: shape, dtype, and aliasing provenance.
+
+The array-contract pass is the numpy cousin of the dimension pass in
+:mod:`.signatures`: local extraction compiles each function's array
+behaviour down to small JSON-serializable *array descriptors* that the
+interprocedural fixpoint evaluates once signatures are known.
+
+Descriptor kinds (nested lists, JSON-able):
+
+``["arr", shape, dtype, prov]``
+    a locally-concrete array: ``shape`` is a list of dimension tokens
+    (ints, symbolic strings like ``"n_nodes"`` or ``"2*ny"``, or
+    ``None`` for an unknown extent) or ``None`` when the rank itself is
+    unknown; ``dtype`` one of :data:`DTYPE_ORDER` or ``None``; ``prov``
+    one of ``"fresh"``/``"cache"``/``None``;
+``["aparam", name]``
+    the array bound to the enclosing function's parameter ``name``;
+``["aret", dotted]``
+    the result of calling ``dotted`` (resolved during the fixpoint);
+``["atrans", sub]``
+    a transpose view — shape reversed, dtype/provenance preserved;
+``["areshape", sub, shape]``
+    a reshape to a known shape — dtype/provenance preserved (reshape
+    may return a view of cached storage);
+``["acast", sub, dtype, prov]``
+    a dtype and/or provenance override (``None`` = inherit): models
+    ``astype`` (fresh copy), ``np.asarray`` (possibly no-copy, so
+    provenance is inherited), ``.real`` and friends;
+``["acopy", sub]``
+    an explicit copy — shape/dtype preserved, provenance fresh; the
+    blessed way to de-alias a cache-shared array before mutating;
+``["aindex", sub]``
+    an indexing/slicing view — shape unknown, dtype and provenance
+    preserved (a slice of a cached array still aliases the cache);
+``["aabs", sub]``
+    ``np.abs`` — complex collapses to float64, otherwise inherited;
+``["aelem", left, right]``
+    an elementwise binary op — broadcast shape, dtype join, fresh;
+``["amat", left, right]``
+    a matmul — ``(l[0], r[-1])``, dtype join, fresh;
+``["afft", sub, "r2c"|"c2r"]``
+    a real-to-complex (``rfft2``) or complex-to-real (``irfft2``)
+    spectral transform — the dtype boundary R11 polices;
+``["aunknown"]``
+    no information — never produces a finding.
+
+The provenance lattice is {``fresh``, ``cache``, unknown}: ``fresh``
+arrays are owned by the caller and freely mutable, ``cache`` arrays
+alias process-wide cache storage (the analytic kernel LRU, the steady
+LU factor cache, ``ResultCache.get``) and must be copied before any
+in-place op, unknown stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+#: identifiers inside a composite dim token ("2*ny" -> ["ny"])
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+#: JSON-serializable array descriptor (nested lists).
+ADesc = List[object]
+
+AUNKNOWN: ADesc = ["aunknown"]
+
+#: Dtype lattice, least to most general; a binary op joins upward.
+DTYPE_ORDER = ("bool", "int", "float32", "float64", "complex")
+
+_DTYPE_RANK = {name: rank for rank, name in enumerate(DTYPE_ORDER)}
+
+#: Spellings normalized onto the canonical dtype names.
+_DTYPE_SPELLINGS = {
+    "bool": "bool", "bool_": "bool",
+    "int": "int", "int8": "int", "int16": "int", "int32": "int",
+    "int64": "int", "intp": "int", "uint8": "int", "uint16": "int",
+    "uint32": "int", "uint64": "int",
+    "float32": "float32", "single": "float32", "half": "float32",
+    "float16": "float32",
+    "float": "float64", "float64": "float64", "float_": "float64",
+    "double": "float64",
+    "complex": "complex", "complex64": "complex", "complex128": "complex",
+    "cfloat": "complex", "cdouble": "complex",
+}
+
+#: Unresolved callables whose result is treated as cache-shared: the
+#: process-wide caches this codebase actually keeps (analytic kernel
+#: LRU, steady LU factor cache) plus their conventional spellings.
+CACHE_ROOT_CALLABLES = frozenset(
+    {"kernel_for", "get_kernel", "_cached_lu_factor", "_factorize"}
+)
+
+#: Getter methods treated as cache roots when the receiver's dotted
+#: name mentions a cache (``ResultCache.get``, ``self._cache.get``).
+CACHE_GETTER_METHODS = frozenset({"get", "get_trace"})
+
+#: ndarray methods that mutate the receiver in place.
+ARRAY_MUTATING_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "itemset", "resize"}
+)
+
+_NP_CONSTRUCTORS = frozenset({"zeros", "ones", "empty", "full"})
+_NP_LIKE_CONSTRUCTORS = frozenset(
+    {"zeros_like", "ones_like", "empty_like", "full_like"}
+)
+_NP_AS_VIEWS = frozenset({"asarray", "ascontiguousarray", "asfortranarray"})
+
+_DIM_OPS = {
+    ast.Mult: "*", ast.Add: "+", ast.Sub: "-",
+    ast.FloorDiv: "//", ast.Div: "/", ast.Mod: "%",
+}
+
+
+def canonical_dtype(name: str) -> Optional[str]:
+    """Normalize a dtype spelling onto the canonical lattice names."""
+    return _DTYPE_SPELLINGS.get(name.split(".")[-1])
+
+
+def join_dtype(left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """The result dtype of a binary op (numpy promotion, coarsened)."""
+    if left is None or right is None:
+        return None
+    return left if _DTYPE_RANK[left] >= _DTYPE_RANK[right] else right
+
+
+def is_cache_root(dotted: str) -> bool:
+    """Whether an unresolved callee hands out cache-shared arrays."""
+    head, _, last = dotted.rpartition(".")
+    if last in CACHE_ROOT_CALLABLES:
+        return True
+    return last in CACHE_GETTER_METHODS and "cache" in head.lower()
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """What array-descriptor evaluation produces."""
+
+    shape: Optional[Tuple[object, ...]] = None
+    dtype: Optional[str] = None
+    prov: Optional[str] = None  # "fresh" | "cache" | None
+
+
+def broadcast_shapes(
+    left: Optional[Tuple[object, ...]], right: Optional[Tuple[object, ...]]
+) -> Optional[Tuple[object, ...]]:
+    """Best-effort symbolic broadcast (conservative: unknowns win)."""
+    if left is None or right is None:
+        return None
+    short, long = (left, right) if len(left) <= len(right) else (right, left)
+    out = list(long)
+    offset = len(long) - len(short)
+    for index, dim in enumerate(short):
+        other = long[offset + index]
+        if dim == other:
+            continue
+        if dim == 1:
+            continue
+        if other == 1:
+            out[offset + index] = dim
+        else:
+            out[offset + index] = None
+    return tuple(out)
+
+
+def eval_adesc(
+    desc: ADesc,
+    param_env: Dict[str, ArrayValue],
+    ret_lookup: Callable[[str], Optional[ArrayValue]],
+) -> Optional[ArrayValue]:
+    """Evaluate an array descriptor to an :class:`ArrayValue` (or None)."""
+    kind = desc[0]
+    if kind == "arr":
+        shape = None if desc[1] is None else tuple(desc[1])  # type: ignore[arg-type]
+        return ArrayValue(shape, desc[2], desc[3])  # type: ignore[arg-type]
+    if kind == "aparam":
+        return param_env.get(str(desc[1]))
+    if kind == "aret":
+        return ret_lookup(str(desc[1]))
+    if kind == "atrans":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        if sub is None:
+            return None
+        shape = tuple(reversed(sub.shape)) if sub.shape is not None else None
+        return ArrayValue(shape, sub.dtype, sub.prov)
+    if kind == "areshape":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        shape = None if desc[2] is None else tuple(desc[2])  # type: ignore[arg-type]
+        if sub is None:
+            return ArrayValue(shape, None, None)
+        return ArrayValue(shape, sub.dtype, sub.prov)
+    if kind == "acast":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        dtype = desc[2] if desc[2] is not None else (
+            sub.dtype if sub is not None else None
+        )
+        prov = desc[3] if desc[3] is not None else (
+            sub.prov if sub is not None else None
+        )
+        shape = sub.shape if sub is not None else None
+        return ArrayValue(shape, dtype, prov)  # type: ignore[arg-type]
+    if kind == "acopy":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        if sub is None:
+            return ArrayValue(None, None, "fresh")
+        return ArrayValue(sub.shape, sub.dtype, "fresh")
+    if kind == "aindex":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        if sub is None:
+            return None
+        return ArrayValue(None, sub.dtype, sub.prov)
+    if kind == "aabs":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        if sub is None:
+            return ArrayValue(None, None, "fresh")
+        dtype = "float64" if sub.dtype == "complex" else sub.dtype
+        return ArrayValue(sub.shape, dtype, "fresh")
+    if kind == "aelem":
+        left = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        right = eval_adesc(desc[2], param_env, ret_lookup)  # type: ignore[arg-type]
+        shape = broadcast_shapes(
+            left.shape if left is not None else None,
+            right.shape if right is not None else None,
+        )
+        dtype = join_dtype(
+            left.dtype if left is not None else None,
+            right.dtype if right is not None else None,
+        )
+        return ArrayValue(shape, dtype, "fresh")
+    if kind == "amat":
+        left = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        right = eval_adesc(desc[2], param_env, ret_lookup)  # type: ignore[arg-type]
+        shape = None
+        if (
+            left is not None and right is not None
+            and left.shape is not None and right.shape is not None
+            and len(left.shape) == 2 and len(right.shape) == 2
+        ):
+            shape = (left.shape[0], right.shape[-1])
+        dtype = join_dtype(
+            left.dtype if left is not None else None,
+            right.dtype if right is not None else None,
+        )
+        return ArrayValue(shape, dtype, "fresh")
+    if kind == "afft":
+        sub = eval_adesc(desc[1], param_env, ret_lookup)  # type: ignore[arg-type]
+        if str(desc[2]) == "r2c":
+            shape = None
+            if sub is not None and sub.shape is not None and sub.shape:
+                last = sub.shape[-1]
+                halved = last // 2 + 1 if isinstance(last, int) else None
+                shape = tuple(sub.shape[:-1]) + (halved,)
+            return ArrayValue(shape, "complex", "fresh")
+        return ArrayValue(None, "float64", "fresh")
+    return None
+
+
+def is_symbolic(desc: ADesc) -> bool:
+    """Whether a descriptor references a parameter or a call result."""
+    kind = desc[0]
+    if kind in ("aparam", "aret"):
+        return True
+    return any(
+        isinstance(item, list) and is_symbolic(item) for item in desc[1:]
+    )
+
+
+def _folded(desc: ADesc) -> ADesc:
+    """Collapse a locally-concrete descriptor to an ``arr`` literal."""
+    if desc[0] in ("arr", "aparam", "aret", "aunknown") or is_symbolic(desc):
+        return desc
+    value = eval_adesc(desc, {}, lambda _name: None)
+    if value is None:
+        return AUNKNOWN
+    shape = None if value.shape is None else list(value.shape)
+    return ["arr", shape, value.dtype, value.prov]
+
+
+@dataclass
+class ArrayMutation:
+    """An in-place write to an array value (R10's raw material)."""
+
+    line: int
+    col: int
+    kind: str  # "augassign" | "slice-assign" | "out" | "method"
+    detail: str = ""
+    target: ADesc = field(default_factory=lambda: list(AUNKNOWN))
+    #: parameter name when the mutated value is a bare parameter
+    param: Optional[str] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "kind": self.kind,
+                "detail": self.detail, "target": self.target,
+                "param": self.param}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ArrayMutation":
+        param = data.get("param")
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   kind=str(data["kind"]), detail=str(data.get("detail", "")),
+                   target=list(data.get("target", AUNKNOWN)),  # type: ignore[arg-type]
+                   param=None if param is None else str(param))
+
+
+@dataclass
+class BroadcastSite:
+    """An elementwise/matmul combination R9 re-checks interprocedurally."""
+
+    line: int
+    col: int
+    op: str
+    left: ADesc = field(default_factory=lambda: list(AUNKNOWN))
+    right: ADesc = field(default_factory=lambda: list(AUNKNOWN))
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "op": self.op,
+                "left": self.left, "right": self.right}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "BroadcastSite":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   op=str(data["op"]),
+                   left=list(data.get("left", AUNKNOWN)),  # type: ignore[arg-type]
+                   right=list(data.get("right", AUNKNOWN)))  # type: ignore[arg-type]
+
+
+@dataclass
+class IntDivSite:
+    """A true division over grid-dimension tokens (R11's ``/`` check)."""
+
+    line: int
+    col: int
+    text: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "text": self.text}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "IntDivSite":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   text=str(data.get("text", "")))
+
+
+class ArrayInferer:
+    """Compile expressions to array descriptors inside one function.
+
+    Mirrors :class:`~repro.analysis.static.signatures.SymbolicInferer`:
+    a sequential-assignment environment maps local names to
+    descriptors, and a parallel *dimension* environment maps integer
+    locals to symbolic extent tokens (``ny, nx = stack.ny, stack.nx``
+    lets ``field.reshape(ny, nx)`` keep its symbolic shape).
+    """
+
+    def __init__(
+        self, params: Sequence[str], dim_params: Sequence[str]
+    ) -> None:
+        self.params = set(params)
+        self.dim_params = set(dim_params)
+        self.env: Dict[str, ADesc] = {}
+        self.dim_env: Dict[str, object] = {}
+        self.intdivs: List[IntDivSite] = []
+
+    # -- expressions -> descriptors ----------------------------------
+
+    def infer(self, node: ast.AST) -> ADesc:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in self.params:
+                return ["aparam", node.id]
+            return AUNKNOWN
+        if isinstance(node, ast.Attribute):
+            if node.attr == "T":
+                sub = self.infer(node.value)
+                return _folded(["atrans", sub]) if sub != AUNKNOWN else AUNKNOWN
+            if node.attr in ("real", "imag"):
+                sub = self.infer(node.value)
+                if sub != AUNKNOWN:
+                    return _folded(["acast", sub, "float64", None])
+            return AUNKNOWN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.UAdd, ast.USub)
+        ):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Subscript):
+            self.scan_index(node)
+            sub = self.infer(node.value)
+            return _folded(["aindex", sub]) if sub != AUNKNOWN else AUNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            if left == AUNKNOWN and right == AUNKNOWN:
+                return AUNKNOWN
+            if isinstance(node.op, ast.MatMult):
+                return _folded(["amat", left, right])
+            if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div,
+                                    ast.Pow, ast.FloorDiv, ast.Mod)):
+                return _folded(["aelem", left, right])
+            return AUNKNOWN
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body == orelse else AUNKNOWN
+        return AUNKNOWN
+
+    def _infer_call(self, node: ast.Call) -> ADesc:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        receiver = (
+            self.infer(func.value) if isinstance(func, ast.Attribute)
+            else AUNKNOWN
+        )
+        first = (
+            self.infer(node.args[0]) if node.args else AUNKNOWN
+        )
+        # the receiver when called method-style, the first argument when
+        # called function-style (np.copy(x) vs x.copy())
+        sub = receiver if receiver != AUNKNOWN else first
+        dtype_kw = self._dtype_argument(node)
+
+        if name == "copy" and sub != AUNKNOWN:
+            return _folded(["acopy", sub])
+        if name == "astype" and receiver != AUNKNOWN:
+            dtype = dtype_kw or (
+                self._dtype_of(node.args[0]) if node.args else None
+            )
+            return _folded(["acast", receiver, dtype, "fresh"])
+        if name in _NP_AS_VIEWS and node.args:
+            return _folded(["acast", first, dtype_kw, None])
+        if name == "array" and node.args:
+            return _folded(["acast", first, dtype_kw, "fresh"])
+        if name == "reshape":
+            base, shape_args = (
+                (receiver, list(node.args)) if receiver != AUNKNOWN
+                else (first, list(node.args[1:]))
+            )
+            if base != AUNKNOWN:
+                return _folded(["areshape", base, self._shape_from(shape_args)])
+        if name == "ravel" and sub != AUNKNOWN:
+            return _folded(["areshape", sub, [None]])
+        if name == "flatten" and receiver != AUNKNOWN:
+            return _folded(["acast", ["areshape", receiver, [None]],
+                            None, "fresh"])
+        if name == "transpose" and sub != AUNKNOWN:
+            shape_args = node.args if receiver != AUNKNOWN else node.args[1:]
+            if not shape_args:
+                return _folded(["atrans", sub])
+            return _folded(["aindex", sub])
+        if name in _NP_CONSTRUCTORS and node.args:
+            shape = self._shape_from([node.args[0]])
+            dtype = dtype_kw or ("float64" if name != "full" else None)
+            return ["arr", shape, dtype, "fresh"]
+        if name in _NP_LIKE_CONSTRUCTORS and node.args:
+            like: ADesc = ["acopy", first]
+            if dtype_kw is not None:
+                like = ["acast", like, dtype_kw, None]
+            return _folded(like)
+        if name in ("rfft2", "rfft", "rfftn") and node.args:
+            return _folded(["afft", first, "r2c"])
+        if name in ("irfft2", "irfft", "irfftn") and node.args:
+            return _folded(["afft", first, "c2r"])
+        if name in ("fft", "fft2", "fftn", "ifft", "ifft2", "ifftn") and node.args:
+            return _folded(["acast", ["acopy", first], "complex", None])
+        if name in ("real", "imag") and node.args:
+            return _folded(["acast", first, "float64", None])
+        if name in ("abs", "absolute") and sub != AUNKNOWN:
+            return _folded(["aabs", sub])
+        if name in ("dot", "matmul"):
+            if receiver != AUNKNOWN and node.args:
+                return _folded(["amat", receiver, first])
+            if len(node.args) >= 2:
+                return _folded(["amat", first, self.infer(node.args[1])])
+        if name == "solve" and len(node.args) >= 2:
+            # x = solve(A, b) matches b in shape; dtype joins both sides
+            rhs = self.infer(node.args[1])
+            if rhs != AUNKNOWN:
+                return _folded(["acopy", rhs])
+        dotted = _dotted(func)
+        if dotted is not None:
+            return ["aret", dotted]
+        return AUNKNOWN
+
+    def _dtype_argument(self, node: ast.Call) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return self._dtype_of(keyword.value)
+        return None
+
+    def _dtype_of(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return canonical_dtype(node.value)
+        if isinstance(node, ast.Name):
+            return canonical_dtype(node.id)
+        if isinstance(node, ast.Attribute):
+            return canonical_dtype(node.attr)
+        return None
+
+    # -- dimension expressions -> tokens -----------------------------
+
+    def _dim_token(self, value: object) -> bool:
+        """Whether a token is built purely from declared dim params."""
+        if not isinstance(value, str):
+            return False
+        names = _IDENT_RE.findall(value)
+        return bool(names) and all(n in self.dim_params for n in names)
+
+    def dim_of(self, node: ast.AST) -> Optional[object]:
+        """Symbolic extent token of an integer expression, or None."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value, bool):
+                return node.value
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.dim_env:
+                return self.dim_env[node.id]
+            if node.id in self.params:
+                return node.id
+            return None
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.dim_params:
+                return node.attr
+            return None
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return None  # -1 wildcards and negative extents stay unknown
+        if isinstance(node, ast.BinOp):
+            op = _DIM_OPS.get(type(node.op))
+            if op is None:
+                return None
+            left = self.dim_of(node.left)
+            right = self.dim_of(node.right)
+            if left is None or right is None:
+                return None
+            if op == "/":
+                # only a provable grid-extent division is worth
+                # flagging: at least one side a declared dimension
+                # token, the other an int or another dimension token
+                # (``die_width / nx`` is a legitimate cell size,
+                # ``tmp_path / name`` is pathlib)
+                dimlike = (self._dim_token(left), self._dim_token(right))
+                if any(dimlike) and all(
+                    isinstance(v, int) or is_dim
+                    for v, is_dim in zip((left, right), dimlike)
+                ):
+                    # nested calls re-infer their argument expressions,
+                    # so guard against recording the same site twice
+                    site = IntDivSite(line=node.lineno,
+                                      col=node.col_offset,
+                                      text=f"{left}/{right}")
+                    if not any(s.line == site.line and s.col == site.col
+                               for s in self.intdivs):
+                        self.intdivs.append(site)
+            if isinstance(left, int) and isinstance(right, int):
+                try:
+                    value = {
+                        "*": left * right, "+": left + right,
+                        "-": left - right, "//": left // right,
+                        "%": left % right, "/": None,
+                    }[op]
+                except ZeroDivisionError:
+                    return None
+                return value
+            if op == "*" and isinstance(left, str) and isinstance(right, int):
+                # canonical token order: "2*ny", never "ny*2"
+                left, right = right, left
+            return f"{left}{op}{right}"
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            if isinstance(base, ast.Attribute) and base.attr == "shape":
+                owner = _folded(self.infer(base.value))
+                index = node.slice
+                if (
+                    owner[0] == "arr" and owner[1] is not None
+                    and isinstance(index, ast.Constant)
+                    and isinstance(index.value, int)
+                ):
+                    dims = owner[1]
+                    if -len(dims) <= index.value < len(dims):  # type: ignore[arg-type]
+                        return dims[index.value]  # type: ignore[index]
+        return None
+
+    def _shape_from(self, args: List[ast.expr]) -> Optional[List[object]]:
+        """Shape list from a constructor/reshape argument list."""
+        if not args:
+            return None
+        if len(args) == 1 and isinstance(args[0], (ast.Tuple, ast.List)):
+            elements = list(args[0].elts)
+        else:
+            elements = args
+        return [self.dim_of(element) for element in elements]
+
+    def scan_index(self, node: ast.Subscript) -> None:
+        """Record int-division over dims used inside an index expression."""
+        index = node.slice
+        elements = index.elts if isinstance(index, ast.Tuple) else [index]
+        for element in elements:
+            if isinstance(element, ast.BinOp) and isinstance(
+                element.op, ast.Div
+            ):
+                self.dim_of(element)
+
+    # -- environment --------------------------------------------------
+
+    def bind(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            desc = self.infer(value)
+            if desc != AUNKNOWN:
+                self.env[target.id] = desc
+            else:
+                self.env.pop(target.id, None)
+            dim = self.dim_of(value)
+            if dim is not None:
+                self.dim_env[target.id] = dim
+            else:
+                self.dim_env.pop(target.id, None)
+        elif (
+            isinstance(target, ast.Tuple)
+            and isinstance(value, ast.Tuple)
+            and len(target.elts) == len(value.elts)
+        ):
+            for element, sub_value in zip(target.elts, value.elts):
+                self.bind(element, sub_value)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_tokens(info: Dict[str, Dict[str, object]]) -> Set[str]:
+    """Symbolic dim tokens appearing in one function's array annotations."""
+    tokens: Set[str] = set()
+    for entry in info.values():
+        shape = entry.get("shape")
+        if isinstance(shape, list):
+            tokens.update(d for d in shape if isinstance(d, str))
+    return tokens

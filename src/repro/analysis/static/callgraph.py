@@ -25,6 +25,16 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .arrays import (
+    ADesc,
+    ARRAY_MUTATING_METHODS,
+    AUNKNOWN,
+    ArrayInferer,
+    ArrayMutation,
+    BroadcastSite,
+    IntDivSite,
+    canonical_dtype,
+)
 from .core import SourceFile, iter_functions
 from .signatures import Desc, SymbolicInferer, UNKNOWN, load_unit_tables
 
@@ -34,7 +44,7 @@ MUTATING_METHODS = frozenset(
      "pop", "popitem", "remove", "discard", "clear"}
 )
 
-_SUMMARY_VERSION = 1
+_SUMMARY_VERSION = 2
 
 
 @dataclass
@@ -46,10 +56,14 @@ class CallSite:
     callee: str                      # dotted name as written ("np.sqrt")
     args: List[Desc] = field(default_factory=list)
     kwargs: Dict[str, Desc] = field(default_factory=dict)
+    #: array descriptors of the same arguments (the v3 pass)
+    arr_args: List[ADesc] = field(default_factory=list)
+    arr_kwargs: Dict[str, ADesc] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, object]:
         return {"line": self.line, "col": self.col, "callee": self.callee,
-                "args": self.args, "kwargs": self.kwargs}
+                "args": self.args, "kwargs": self.kwargs,
+                "arr_args": self.arr_args, "arr_kwargs": self.arr_kwargs}
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "CallSite":
@@ -58,6 +72,8 @@ class CallSite:
             callee=str(data["callee"]),
             args=list(data.get("args", [])),  # type: ignore[arg-type]
             kwargs=dict(data.get("kwargs", {})),  # type: ignore[arg-type]
+            arr_args=list(data.get("arr_args", [])),  # type: ignore[arg-type]
+            arr_kwargs=dict(data.get("arr_kwargs", {})),  # type: ignore[arg-type]
         )
 
 
@@ -119,22 +135,43 @@ class FunctionSummary:
     params: List[str] = field(default_factory=list)
     #: param name (or "return") -> unit text from a quantity annotation
     annotations: Dict[str, str] = field(default_factory=dict)
+    #: param name (or "return") -> array contract from array_shape /
+    #: array_dtype / cache_shared annotations ({"shape": [...],
+    #: "dtype": str, "prov": str} subsets)
+    array_annotations: Dict[str, Dict[str, object]] = field(default_factory=dict)
     returns: List[Desc] = field(default_factory=list)
+    #: array descriptors of the same return expressions
+    array_returns: List[ADesc] = field(default_factory=list)
     calls: List[CallSite] = field(default_factory=list)
     adds: List[AddSite] = field(default_factory=list)
     mutations: List[Mutation] = field(default_factory=list)
+    array_mutations: List[ArrayMutation] = field(default_factory=list)
+    broadcasts: List[BroadcastSite] = field(default_factory=list)
+    intdivs: List[IntDivSite] = field(default_factory=list)
     is_method: bool = False
     is_nested: bool = False
     runner_registered: bool = False
+
+    def array_mutated_params(self) -> Set[str]:
+        """Parameters this function mutates in place (R10 call checks)."""
+        return {
+            m.param for m in self.array_mutations
+            if m.param is not None and m.param not in ("self", "cls")
+        }
 
     def to_json(self) -> Dict[str, object]:
         return {
             "qualname": self.qualname, "line": self.line, "col": self.col,
             "params": self.params, "annotations": self.annotations,
+            "array_annotations": self.array_annotations,
             "returns": self.returns,
+            "array_returns": self.array_returns,
             "calls": [call.to_json() for call in self.calls],
             "adds": [a.to_json() for a in self.adds],
             "mutations": [m.to_json() for m in self.mutations],
+            "array_mutations": [m.to_json() for m in self.array_mutations],
+            "broadcasts": [b.to_json() for b in self.broadcasts],
+            "intdivs": [d.to_json() for d in self.intdivs],
             "is_method": self.is_method, "is_nested": self.is_nested,
             "runner_registered": self.runner_registered,
         }
@@ -146,13 +183,26 @@ class FunctionSummary:
             line=int(data["line"]), col=int(data["col"]),
             params=list(data.get("params", [])),  # type: ignore[arg-type]
             annotations=dict(data.get("annotations", {})),  # type: ignore[arg-type]
+            array_annotations={
+                str(name): dict(entry)  # type: ignore[arg-type]
+                for name, entry in dict(
+                    data.get("array_annotations", {})  # type: ignore[arg-type]
+                ).items()
+            },
             returns=list(data.get("returns", [])),  # type: ignore[arg-type]
+            array_returns=list(data.get("array_returns", [])),  # type: ignore[arg-type]
             calls=[CallSite.from_json(c)  # type: ignore[arg-type]
                    for c in data.get("calls", [])],  # type: ignore[union-attr]
             adds=[AddSite.from_json(a)  # type: ignore[arg-type]
                   for a in data.get("adds", [])],  # type: ignore[union-attr]
             mutations=[Mutation.from_json(m)  # type: ignore[arg-type]
                        for m in data.get("mutations", [])],  # type: ignore[union-attr]
+            array_mutations=[ArrayMutation.from_json(m)  # type: ignore[arg-type]
+                             for m in data.get("array_mutations", [])],  # type: ignore[union-attr]
+            broadcasts=[BroadcastSite.from_json(b)  # type: ignore[arg-type]
+                        for b in data.get("broadcasts", [])],  # type: ignore[union-attr]
+            intdivs=[IntDivSite.from_json(d)  # type: ignore[arg-type]
+                     for d in data.get("intdivs", [])],  # type: ignore[union-attr]
             is_method=bool(data.get("is_method", False)),
             is_nested=bool(data.get("is_nested", False)),
             runner_registered=bool(data.get("runner_registered", False)),
@@ -277,6 +327,55 @@ def _quantity_annotation(node: Optional[ast.expr]) -> Optional[str]:
     return None
 
 
+def _annotated_metadata(node: Optional[ast.expr]) -> List[ast.Call]:
+    """The metadata Call elements of an ``Annotated[...]`` expression."""
+    if not isinstance(node, ast.Subscript):
+        return []
+    base = node.value
+    base_name = base.attr if isinstance(base, ast.Attribute) else (
+        base.id if isinstance(base, ast.Name) else None
+    )
+    if base_name != "Annotated":
+        return []
+    inner = node.slice
+    elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+    return [element for element in elements if isinstance(element, ast.Call)]
+
+
+def _array_annotation(node: Optional[ast.expr]) -> Optional[Dict[str, object]]:
+    """Array contract of an ``Annotated[..., units.array_shape(...)]``
+    (and/or ``array_dtype``/``cache_shared``) annotation."""
+    info: Dict[str, object] = {}
+    for element in _annotated_metadata(node):
+        func = element.func
+        func_name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if func_name == "array_shape":
+            dims: List[object] = []
+            for arg in element.args:
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, (str, int)
+                ) and not isinstance(arg.value, bool):
+                    value = arg.value
+                    dims.append(
+                        value.replace(" ", "") if isinstance(value, str)
+                        else value
+                    )
+                else:
+                    dims.append(None)
+            info["shape"] = dims
+        elif func_name == "array_dtype" and element.args:
+            arg = element.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                dtype = canonical_dtype(arg.value)
+                if dtype is not None:
+                    info["dtype"] = dtype
+        elif func_name == "cache_shared":
+            info["prov"] = "cache"
+    return info or None
+
+
 def _dotted(node: ast.AST) -> Optional[str]:
     parts: List[str] = []
     while isinstance(node, ast.Attribute):
@@ -340,14 +439,19 @@ class _FunctionExtractor:
     """Walks one function body collecting calls/returns/mutations."""
 
     def __init__(self, info, symbols: Dict[str, str],
-                 attributes: Dict[str, str]) -> None:
+                 attributes: Dict[str, str],
+                 dim_params: Optional[List[str]] = None) -> None:
         self.node = info.node
         self.params = _param_names(self.node)
         self.inferer = SymbolicInferer(symbols, attributes, self.params)
+        self.arr = ArrayInferer(self.params, dim_params or [])
         self.calls: List[CallSite] = []
         self.returns: List[Desc] = []
+        self.array_returns: List[ADesc] = []
         self.adds: List[AddSite] = []
         self.mutations: List[Mutation] = []
+        self.array_mutations: List[ArrayMutation] = []
+        self.broadcasts: List[BroadcastSite] = []
         self.global_names: Set[str] = set()
         self.nonlocal_names: Set[str] = set()
         self.local_names: Set[str] = set(self.params)
@@ -404,12 +508,14 @@ class _FunctionExtractor:
                                  ast.ClassDef)):
                 continue
             self._visit_stmt(stmt)
-            # keep the assignment environment flowing in order
+            # keep the assignment environments flowing in order
             if isinstance(stmt, ast.Assign):
                 for target in stmt.targets:
                     self.inferer.bind(target, stmt.value)
+                    self.arr.bind(target, stmt.value)
             elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
                 self.inferer.bind(stmt.target, stmt.value)
+                self.arr.bind(stmt.target, stmt.value)
             for child_body in _nested_bodies(stmt):
                 self._walk_body(child_body)
 
@@ -419,11 +525,15 @@ class _FunctionExtractor:
                 self._record_call(node)
             elif isinstance(node, ast.Return) and node.value is not None:
                 self.returns.append(self.inferer.infer(node.value))
-            elif isinstance(node, ast.BinOp) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                self._record_add(node)
+                self.array_returns.append(self.arr.infer(node.value))
+            elif isinstance(node, ast.BinOp):
+                if isinstance(node.op, (ast.Add, ast.Sub)):
+                    self._record_add(node)
+                self._record_broadcast(node)
+            elif isinstance(node, ast.Subscript):
+                self.arr.scan_index(node)
         self._record_mutations(stmt)
+        self._record_array_writes(stmt)
 
     def _record_add(self, node: ast.BinOp) -> None:
         """Keep +/- sites R6 must re-check once signatures are known:
@@ -448,6 +558,70 @@ class _FunctionExtractor:
             )
         )
 
+    _BROADCAST_OPS = {
+        ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+        ast.MatMult: "@",
+    }
+
+    def _record_broadcast(self, node: ast.BinOp) -> None:
+        """Keep elementwise/matmul sites R9 must re-check once array
+        signatures are known: both sides carry array information, at
+        least one is symbolic, and they are not trivially identical."""
+        from .arrays import is_symbolic
+
+        op = self._BROADCAST_OPS.get(type(node.op))
+        if op is None:
+            return
+        left = self.arr.infer(node.left)
+        right = self.arr.infer(node.right)
+        if left == AUNKNOWN or right == AUNKNOWN or left == right:
+            return
+        if not (is_symbolic(left) or is_symbolic(right)):
+            return  # both locally concrete: nothing new to learn later
+        self.broadcasts.append(
+            BroadcastSite(line=node.lineno, col=node.col_offset,
+                          op=op, left=left, right=right)
+        )
+
+    def _record_array_writes(self, stmt: ast.stmt) -> None:
+        """Record in-place writes to array values (R10's raw material)."""
+        if isinstance(stmt, ast.AugAssign):
+            op = self._BROADCAST_OPS.get(type(stmt.op), "?") + "="
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                self._array_mutation(
+                    target, self.arr.infer(target), "augassign",
+                    f"{target.id} {op}",
+                )
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                self._array_mutation(
+                    target, self.arr.infer(target.value), "augassign",
+                    f"{target.value.id}[...] {op}",
+                )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    self._array_mutation(
+                        target, self.arr.infer(target.value), "slice-assign",
+                        f"{target.value.id}[...] =",
+                    )
+
+    def _array_mutation(self, node: ast.AST, desc: ADesc, kind: str,
+                        detail: str) -> None:
+        if desc == AUNKNOWN:
+            return
+        param = str(desc[1]) if desc[0] == "aparam" else None
+        self.array_mutations.append(
+            ArrayMutation(line=getattr(node, "lineno", 1),
+                          col=getattr(node, "col_offset", 0),
+                          kind=kind, detail=detail, target=desc,
+                          param=param)
+        )
+
     def _record_call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if dotted is not None:
@@ -460,7 +634,29 @@ class _FunctionExtractor:
                         kw.arg: self.inferer.infer(kw.value)
                         for kw in node.keywords if kw.arg is not None
                     },
+                    arr_args=[self.arr.infer(arg) for arg in node.args
+                              if not isinstance(arg, ast.Starred)],
+                    arr_kwargs={
+                        kw.arg: self.arr.infer(kw.value)
+                        for kw in node.keywords if kw.arg is not None
+                    },
                 )
+            )
+        # ``out=`` kwargs write their destination in place
+        for keyword in node.keywords:
+            if keyword.arg == "out":
+                name = _dotted(keyword.value) or "out"
+                self._array_mutation(
+                    keyword.value, self.arr.infer(keyword.value),
+                    "out", f"out={name}",
+                )
+        # ndarray mutating methods (x.sort(), x.fill(0), ...)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ARRAY_MUTATING_METHODS:
+            name = _dotted(func.value) or "array"
+            self._array_mutation(
+                node, self.arr.infer(func.value),
+                "method", f"{name}.{func.attr}()",
             )
         # pool submissions double as pool-safety roots
         func = node.func
@@ -543,6 +739,22 @@ def _param_annotations(node) -> Dict[str, str]:
     return annotations
 
 
+def _array_annotations(node) -> Dict[str, Dict[str, object]]:
+    """Per-parameter (and ``"return"``) array contracts from metadata."""
+    contracts: Dict[str, Dict[str, object]] = {}
+    args = node.args
+    for arg in list(getattr(args, "posonlyargs", [])) + list(args.args) + list(
+        args.kwonlyargs
+    ):
+        contract = _array_annotation(arg.annotation)
+        if contract is not None:
+            contracts[arg.arg] = contract
+    contract = _array_annotation(node.returns)
+    if contract is not None:
+        contracts["return"] = contract
+    return contracts
+
+
 def _nested_bodies(stmt: ast.stmt):
     for attr in ("body", "orelse", "finalbody"):
         body = getattr(stmt, attr, None)
@@ -587,8 +799,11 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
         },
     )
     anchor_lines: Set[int] = set(summary.pragmas)
+    dim_params = [str(d) for d in tables.get("dimension_parameters", [])]
     for info in iter_functions(source.tree):
-        extractor = _FunctionExtractor(info, symbols, attributes)
+        extractor = _FunctionExtractor(
+            info, symbols, attributes, dim_params=dim_params
+        )
         extractor.run()
         registered = any(
             isinstance(dec, ast.Call)
@@ -608,12 +823,20 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
             is_method=info.parent_class is not None,
             is_nested=info.parent_function is not None,
             runner_registered=registered,
+            array_annotations=_array_annotations(info.node),
+            array_returns=extractor.array_returns,
+            array_mutations=extractor.array_mutations,
+            broadcasts=extractor.broadcasts,
+            intdivs=list(extractor.arr.intdivs),
         )
         summary.functions[info.qualname] = function
         anchor_lines.add(function.line)
         anchor_lines.update(call.line for call in function.calls)
         anchor_lines.update(a.line for a in function.adds)
         anchor_lines.update(m.line for m in function.mutations)
+        anchor_lines.update(m.line for m in function.array_mutations)
+        anchor_lines.update(b.line for b in function.broadcasts)
+        anchor_lines.update(d.line for d in function.intdivs)
         submit = getattr(extractor, "submit_target", None)
         if submit is not None and submit not in summary.submit_targets:
             summary.submit_targets.append(submit)

@@ -40,6 +40,9 @@ RULE_ALIASES: Dict[str, str] = {
     "R6": "unit-flow",
     "R7": "pool-safety",
     "R8": "obs-taxonomy",
+    "R9": "shape-flow",
+    "R10": "cache-alias-mutation",
+    "R11": "dtype-flow",
 }
 
 
@@ -317,6 +320,7 @@ def make_rules(names: Optional[Iterable[str]] = None) -> List[Rule]:
 def _load_rule_modules() -> None:
     """Import the rules_* modules so their ``@register`` calls run."""
     from . import (  # noqa: F401  (imported for registration side effect)
+        rules_arrays,
         rules_cache,
         rules_determinism,
         rules_float,

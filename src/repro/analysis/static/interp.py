@@ -3,7 +3,9 @@
 :func:`build_project` links per-file :class:`ModuleSummary` objects
 into a :class:`ProjectContext` — symbol table, call graph, and one
 :class:`FunctionSignature` per function — then runs a fixpoint that
-flows return dimensions through call sites until nothing changes.
+flows return dimensions *and array contracts* (symbolic shapes,
+dtypes, cache-aliasing provenance; see :mod:`.arrays`) through call
+sites until nothing changes.
 
 Signature seeding, strongest source first:
 
@@ -26,8 +28,14 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
+from .arrays import (
+    ArrayValue,
+    annotation_tokens,
+    eval_adesc,
+    is_cache_root,
+)
 from .callgraph import CallGraph, ModuleSummary, SymbolTable
 from .dimensions import Dimension
 from .signatures import (
@@ -53,8 +61,12 @@ class ProjectContext:
     graph: CallGraph
     #: fully-qualified function name -> inferred signature
     signatures: Dict[str, FunctionSignature] = field(default_factory=dict)
-    #: unit tables snapshot (text form) used during the build
-    tables: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: unit/shape tables snapshot (text form) used during the build
+    tables: Dict[str, Any] = field(default_factory=dict)
+    #: dimension tokens the project actually declares; only tokens in
+    #: this vocabulary are treated as *known* extents by the shape rule
+    #: (an ad-hoc parameter name never conflicts with anything)
+    dim_vocab: Set[str] = field(default_factory=set)
 
     def by_path(self) -> Dict[str, ModuleSummary]:
         return {summary.path: summary for summary in self.summaries}
@@ -77,12 +89,40 @@ class ProjectContext:
 
         return lookup
 
+    def array_lookup(
+        self, summary: ModuleSummary
+    ) -> Callable[[str], Optional[ArrayValue]]:
+        """Return-array resolver for call descriptors in ``summary``."""
+
+        def lookup(dotted: str) -> Optional[ArrayValue]:
+            fqn = self.table.resolve(summary, dotted)
+            if fqn is not None:
+                signature = self.signatures.get(fqn)
+                if signature is not None:
+                    prov = signature.ret_prov
+                    if prov is None and is_cache_root(dotted):
+                        prov = "cache"
+                    shape = signature.ret_shape
+                    return ArrayValue(
+                        None if shape is None else tuple(shape),
+                        signature.ret_dtype, prov,
+                    )
+            if is_cache_root(dotted):
+                # unresolved, but the spelling names a known cache root
+                # (the analytic kernel LRU, the steady factor cache, a
+                # ``*cache*.get``): the result aliases cache storage
+                return ArrayValue(None, None, "cache")
+            return None
+
+        return lookup
+
 
 def _seed_signature(
     summary: ModuleSummary,
     qualname: str,
     parameters: Dict[str, str],
     dimensions: Dict[str, str],
+    shapes: Dict[str, List[object]],
 ) -> FunctionSignature:
     function = summary.functions[qualname]
     signature = FunctionSignature(param_order=list(function.params))
@@ -102,6 +142,33 @@ def _seed_signature(
     if is_units_module and qualname in dimensions:
         signature.ret = parse_cached(dimensions[qualname])
         signature.fixed = True
+    # array contracts: explicit annotations first, the PARAMETER_SHAPES
+    # naming table second, the fixpoint (return propagation) last
+    for name in function.params:
+        contract = function.array_annotations.get(name)
+        if contract is not None:
+            shape = contract.get("shape")
+            signature.param_shapes[name] = (
+                list(shape) if isinstance(shape, list) else None
+            )
+            dtype = contract.get("dtype")
+            signature.param_dtypes[name] = (
+                str(dtype) if dtype is not None else None
+            )
+        elif name in shapes:
+            signature.param_shapes[name] = list(shapes[name])
+    ret_contract = function.array_annotations.get("return")
+    if ret_contract is not None:
+        shape = ret_contract.get("shape")
+        if isinstance(shape, list):
+            signature.ret_shape_declared = list(shape)
+            signature.ret_shape = list(shape)
+        dtype = ret_contract.get("dtype")
+        if dtype is not None:
+            signature.ret_dtype_declared = str(dtype)
+            signature.ret_dtype = str(dtype)
+        if ret_contract.get("prov") == "cache":
+            signature.ret_prov = "cache"
     return signature
 
 
@@ -115,28 +182,43 @@ def build_project(summaries: List[ModuleSummary]) -> ProjectContext:
     )
     parameters = tables.get("parameters", {})
     dimensions = tables.get("dimensions", {})
+    shapes = {
+        name: list(dims)
+        for name, dims in dict(tables.get("shapes", {})).items()
+    }
+    project.dim_vocab = set(tables.get("dimension_parameters", []))
+    for dims in shapes.values():
+        project.dim_vocab.update(d for d in dims if isinstance(d, str))
     for summary in summaries:
         if summary.module is None:
             continue
-        for qualname in summary.functions:
+        for qualname, function in summary.functions.items():
             project.signatures[f"{summary.module}.{qualname}"] = (
-                _seed_signature(summary, qualname, parameters, dimensions)
+                _seed_signature(
+                    summary, qualname, parameters, dimensions, shapes
+                )
+            )
+            project.dim_vocab.update(
+                annotation_tokens(function.array_annotations)
             )
     _propagate_returns(project)
     return project
 
 
 def _propagate_returns(project: ProjectContext) -> None:
-    """Fill unknown return dimensions from bodies until stable."""
+    """Fill unknown return dimensions/arrays from bodies until stable."""
     for _ in range(_MAX_PASSES):
         changed = False
         for summary in project.summaries:
             if summary.module is None:
                 continue
             lookup = project.ret_lookup(summary)
+            array_lookup = project.array_lookup(summary)
             for qualname, function in summary.functions.items():
                 fqn = f"{summary.module}.{qualname}"
                 signature = project.signatures[fqn]
+                if _propagate_arrays(signature, function, array_lookup):
+                    changed = True
                 if signature.fixed or signature.ret is not None:
                     continue
                 if not function.returns:
@@ -156,3 +238,58 @@ def _propagate_returns(project: ProjectContext) -> None:
                     changed = True
         if not changed:
             return
+
+
+def _propagate_arrays(
+    signature: FunctionSignature,
+    function,
+    array_lookup: Callable[[str], Optional[ArrayValue]],
+) -> bool:
+    """One array-propagation step for one function; True when changed.
+
+    Shapes and dtypes propagate only when *every* return expression
+    evaluates to the same value (anything else stays unknown, hence
+    silent).  Provenance is pessimistic the other way: one cache-shared
+    return makes the whole function cache-shared — handing out an
+    aliased array on any path is enough to corrupt the cache.
+    """
+    if not function.array_returns:
+        return False
+    if (
+        signature.ret_shape is not None
+        and signature.ret_dtype is not None
+        and signature.ret_prov is not None
+    ):
+        return False
+    env = signature.array_env()
+    values = [
+        eval_adesc(desc, env, array_lookup)
+        for desc in function.array_returns
+    ]
+    changed = False
+    if signature.ret_prov is None and any(
+        v is not None and v.prov == "cache" for v in values
+    ):
+        signature.ret_prov = "cache"
+        changed = True
+    known = [v for v in values if v is not None]
+    if len(known) != len(values):
+        return changed
+    if signature.ret_prov is None and all(v.prov == "fresh" for v in known):
+        signature.ret_prov = "fresh"
+        changed = True
+    if signature.ret_shape is None:
+        shapes = [v.shape for v in known]
+        if all(s is not None for s in shapes) and all(
+            s == shapes[0] for s in shapes
+        ):
+            signature.ret_shape = list(shapes[0])  # type: ignore[arg-type]
+            changed = True
+    if signature.ret_dtype is None:
+        dtypes = [v.dtype for v in known]
+        if all(d is not None for d in dtypes) and all(
+            d == dtypes[0] for d in dtypes
+        ):
+            signature.ret_dtype = dtypes[0]
+            changed = True
+    return changed

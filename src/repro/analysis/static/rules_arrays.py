@@ -1,0 +1,422 @@
+"""Rules: array contracts (R9 shape-flow, R10 cache-alias-mutation,
+R11 dtype-flow).
+
+These are the numpy cousins of the interprocedural unit rule (R6),
+built on the same seeding → name-table → fixpoint pipeline: function
+array signatures come from ``units.array_shape``/``array_dtype``/
+``cache_shared`` annotations, the :data:`repro.units.PARAMETER_SHAPES`
+naming table, and return propagation (:mod:`.interp`).
+
+**R9 shape-flow** flags orientation and broadcast mismatches across
+call edges: a ``(K, n_nodes)`` array passed where ``(n_nodes, K)`` is
+declared, a function returning the transpose of its declared layout,
+or an elementwise combination of incompatibly-laid-out operands.  Dim
+tokens are rigid symbols — the same token always denotes the same
+extent — but only tokens in the project's declared vocabulary
+(:data:`repro.units.DIMENSION_PARAMETERS` plus every annotation token)
+are treated as known, so ad-hoc local names never conflict.  This is
+exactly the bug class tier-1 tests cannot see: on a small test grid
+``K == n_nodes`` and a transposed state runs green.
+
+**R10 cache-alias-mutation** propagates the provenance lattice {fresh,
+cache-shared, unknown} from the cache roots (the analytic kernel LRU's
+``get_kernel``/``kernel_for``, the steady factor cache, any
+``*cache*.get``) through assignments, wrapper returns, and call edges,
+and flags in-place ops — aug-assign, slice/ellipsis assignment,
+``out=`` kwargs, mutating methods — on a cache-shared value without an
+intervening ``.copy()``.  One un-copied ``+=`` on a cached kernel
+corrupts every later solve.
+
+**R11 dtype-flow** polices the spectral dtype boundary: complex values
+leaking past a declared-real contract (``irfft2``/``.real`` is the
+sanctioned exit), silent float32 downcasts into declared-float64
+solver state, and true division over grid-dimension tokens in a
+shape/index context (a float extent is a latent crash).
+
+Nothing is reported unless both sides are known: unknown shapes,
+dtypes, and provenance stay silent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .arrays import ADesc, ArrayValue, eval_adesc
+from .core import Finding, ProjectRule, register
+
+_DIM_UNKNOWN = "?"
+
+
+def _fmt_shape(shape: Optional[Sequence[object]]) -> str:
+    if shape is None:
+        return "(?)"
+    dims = ", ".join(
+        _DIM_UNKNOWN if d is None else str(d) for d in shape
+    )
+    if len(shape) == 1:
+        dims += ","
+    return f"({dims})"
+
+
+def _dims_known(dim: object, vocab: Set[str]) -> bool:
+    if isinstance(dim, bool):
+        return False
+    if isinstance(dim, int):
+        return True
+    return isinstance(dim, str) and dim in vocab
+
+
+def _dims_conflict(left: object, right: object, vocab: Set[str]) -> bool:
+    """Whether two extents are *provably* different."""
+    if left is None or right is None:
+        return False
+    if not (_dims_known(left, vocab) and _dims_known(right, vocab)):
+        return False
+    if isinstance(left, int) != isinstance(right, int):
+        return False  # a token vs a literal extent: unknowable
+    return left != right
+
+
+def shapes_conflict(
+    actual: Sequence[object], expected: Sequence[object], vocab: Set[str]
+) -> bool:
+    """Whether two fully-ranked shapes are provably incompatible."""
+    if len(actual) != len(expected):
+        return True
+    return any(
+        _dims_conflict(a, b, vocab) for a, b in zip(actual, expected)
+    )
+
+
+def broadcast_conflict(
+    left: Sequence[object], right: Sequence[object], vocab: Set[str]
+) -> bool:
+    """Whether two shapes provably fail to broadcast together."""
+    short, long = (
+        (left, right) if len(left) <= len(right) else (right, left)
+    )
+    offset = len(long) - len(short)
+    for index, dim in enumerate(short):
+        other = long[offset + index]
+        if dim == 1 or other == 1:
+            continue
+        if _dims_conflict(dim, other, vocab):
+            return True
+    return False
+
+
+def _call_pairs(
+    callee_sig, call
+) -> Iterator[Tuple[str, ADesc]]:
+    """(parameter name, argument descriptor) pairs for one call site."""
+    offset = 1 if callee_sig.param_at(0) in ("self", "cls") else 0
+    for index, desc in enumerate(call.arr_args):
+        param = callee_sig.param_at(index + offset)
+        if param is not None:
+            yield param, desc
+    for name, desc in call.arr_kwargs.items():
+        yield name, desc
+
+
+def _iter_callsites(project, summary, function):
+    """Resolved call sites of one function (shared R9/R10/R11 walk)."""
+    caller_fqn = f"{summary.module}.{function.qualname}"
+    for call in function.calls:
+        callee_fqn = project.table.resolve(summary, call.callee)
+        if callee_fqn is None or callee_fqn == caller_fqn:
+            continue
+        callee_sig = project.signatures.get(callee_fqn)
+        if callee_sig is None:
+            continue
+        yield call, callee_fqn, callee_sig
+
+
+@register
+class ShapeFlowRule(ProjectRule):
+    """Flag symbolic array-shape mismatches across call sites."""
+
+    name = "shape-flow"
+    severity = "error"
+    description = (
+        "Interprocedural array-shape mismatch: an argument or return "
+        "value whose symbolic shape disagrees with the declared "
+        "array_shape contract, or an elementwise combination of "
+        "provably incompatible layouts (e.g. a transposed (K, n_nodes) "
+        "state where (n_nodes, K) is expected)."
+    )
+
+    _HINT = (
+        "check the array orientation (a transpose runs green whenever "
+        "the two extents happen to be equal, e.g. K == n_nodes on a "
+        "small test grid); fix the layout or the array_shape contract"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        vocab = project.dim_vocab
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            lookup = project.array_lookup(summary)
+            for qualname, function in summary.functions.items():
+                caller_sig = project.signatures.get(
+                    f"{summary.module}.{qualname}"
+                )
+                env = caller_sig.array_env() if caller_sig is not None else {}
+                for call, callee_fqn, callee_sig in _iter_callsites(
+                    project, summary, function
+                ):
+                    for param, desc in _call_pairs(callee_sig, call):
+                        expected = callee_sig.param_shapes.get(param)
+                        if expected is None:
+                            continue
+                        actual = eval_adesc(desc, env, lookup)
+                        if actual is None or actual.shape is None:
+                            continue
+                        if shapes_conflict(actual.shape, expected, vocab):
+                            yield self.project_finding(
+                                path=summary.path,
+                                line=call.line, col=call.col,
+                                message=(
+                                    f"argument {param!r} of {callee_fqn}() "
+                                    f"has shape {_fmt_shape(actual.shape)}, "
+                                    "but the parameter is declared "
+                                    f"{_fmt_shape(expected)}"
+                                ),
+                                hint=self._HINT,
+                            )
+                yield from self._check_returns(
+                    summary, function, caller_sig, env, lookup, vocab
+                )
+                yield from self._check_broadcasts(
+                    summary, function, env, lookup, vocab
+                )
+
+    def _check_returns(
+        self, summary, function, caller_sig, env, lookup, vocab
+    ) -> Iterator[Finding]:
+        if caller_sig is None or caller_sig.ret_shape_declared is None:
+            return
+        declared = caller_sig.ret_shape_declared
+        for desc in function.array_returns:
+            actual = eval_adesc(desc, env, lookup)
+            if actual is None or actual.shape is None:
+                continue
+            if shapes_conflict(actual.shape, declared, vocab):
+                yield self.project_finding(
+                    path=summary.path,
+                    line=function.line, col=function.col,
+                    message=(
+                        f"{function.qualname}() declares return shape "
+                        f"{_fmt_shape(declared)} but a return expression "
+                        f"has shape {_fmt_shape(actual.shape)}"
+                    ),
+                    hint=self._HINT,
+                )
+
+    def _check_broadcasts(
+        self, summary, function, env, lookup, vocab
+    ) -> Iterator[Finding]:
+        for site in function.broadcasts:
+            left = eval_adesc(site.left, env, lookup)
+            right = eval_adesc(site.right, env, lookup)
+            if (
+                left is None or right is None
+                or left.shape is None or right.shape is None
+            ):
+                continue
+            if broadcast_conflict(left.shape, right.shape, vocab):
+                yield self.project_finding(
+                    path=summary.path,
+                    line=site.line, col=site.col,
+                    message=(
+                        f"'{site.op}' combines arrays of shape "
+                        f"{_fmt_shape(left.shape)} and "
+                        f"{_fmt_shape(right.shape)} in "
+                        f"{function.qualname}(); the layouts are "
+                        "provably incompatible"
+                    ),
+                    hint=self._HINT,
+                )
+
+
+@register
+class CacheAliasMutationRule(ProjectRule):
+    """Flag in-place mutation of cache-shared arrays."""
+
+    name = "cache-alias-mutation"
+    severity = "error"
+    description = (
+        "In-place mutation (aug-assign, slice assignment, out=, "
+        "mutating method) of an array that aliases process-wide cache "
+        "storage — the analytic kernel LRU, the steady LU factor "
+        "cache, or a *cache*.get result — without an intervening "
+        ".copy(); one un-copied write corrupts every later cache hit."
+    )
+
+    _HINT = (
+        "call .copy() on the cached array before mutating, or write "
+        "into a fresh output array; cached arrays are shared by every "
+        "later lookup in this process"
+    )
+
+    _KINDS = {
+        "augassign": "augmented assignment",
+        "slice-assign": "slice assignment",
+        "out": "out= destination",
+        "method": "mutating method call",
+    }
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            lookup = project.array_lookup(summary)
+            for qualname, function in summary.functions.items():
+                caller_sig = project.signatures.get(
+                    f"{summary.module}.{qualname}"
+                )
+                env = caller_sig.array_env() if caller_sig is not None else {}
+                for site in function.array_mutations:
+                    value = eval_adesc(site.target, env, lookup)
+                    if value is None or value.prov != "cache":
+                        continue
+                    how = self._KINDS.get(site.kind, site.kind)
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=site.line, col=site.col,
+                        message=(
+                            f"{how} ({site.detail}) mutates a "
+                            "cache-shared array in "
+                            f"{function.qualname}()"
+                        ),
+                        hint=self._HINT,
+                    )
+                for call, callee_fqn, callee_sig in _iter_callsites(
+                    project, summary, function
+                ):
+                    callee_fn = project.table.lookup(callee_fqn)
+                    if callee_fn is None:
+                        continue
+                    mutated = callee_fn.array_mutated_params()
+                    if not mutated:
+                        continue
+                    for param, desc in _call_pairs(callee_sig, call):
+                        if param not in mutated:
+                            continue
+                        value = eval_adesc(desc, env, lookup)
+                        if value is None or value.prov != "cache":
+                            continue
+                        yield self.project_finding(
+                            path=summary.path,
+                            line=call.line, col=call.col,
+                            message=(
+                                "passes a cache-shared array to "
+                                f"{callee_fqn}(), which mutates "
+                                f"parameter {param!r} in place"
+                            ),
+                            hint=self._HINT,
+                        )
+
+
+#: Dtype pairs (actual -> declared) that are silently destructive.
+_DTYPE_VIOLATIONS: Dict[Tuple[str, str], str] = {}
+for _real in ("float64", "float32", "int", "bool"):
+    _DTYPE_VIOLATIONS[("complex", _real)] = (
+        "complex data leaks past a declared-{expected} boundary; take "
+        ".real or inverse-transform (irfft2) before handing it on"
+    )
+_DTYPE_VIOLATIONS[("float32", "float64")] = (
+    "float32 data silently downcasts a declared-{expected} value; "
+    "solver state accumulates rounding error at single precision"
+)
+
+
+@register
+class DtypeFlowRule(ProjectRule):
+    """Flag dtype-contract violations across the spectral boundary."""
+
+    name = "dtype-flow"
+    severity = "error"
+    description = (
+        "Interprocedural dtype mismatch: complex arrays leaking past "
+        "an irfft2/.real boundary into a declared-real contract, "
+        "silent float32 downcasts into declared-float64 solver state, "
+        "or true division over grid-dimension tokens where an integer "
+        "extent is needed."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            lookup = project.array_lookup(summary)
+            for qualname, function in summary.functions.items():
+                caller_sig = project.signatures.get(
+                    f"{summary.module}.{qualname}"
+                )
+                env = caller_sig.array_env() if caller_sig is not None else {}
+                for call, callee_fqn, callee_sig in _iter_callsites(
+                    project, summary, function
+                ):
+                    for param, desc in _call_pairs(callee_sig, call):
+                        expected = callee_sig.param_dtypes.get(param)
+                        if expected is None:
+                            continue
+                        actual = eval_adesc(desc, env, lookup)
+                        if actual is None or actual.dtype is None:
+                            continue
+                        reason = _DTYPE_VIOLATIONS.get(
+                            (actual.dtype, expected)
+                        )
+                        if reason is None:
+                            continue
+                        yield self.project_finding(
+                            path=summary.path,
+                            line=call.line, col=call.col,
+                            message=(
+                                f"argument {param!r} of {callee_fqn}() "
+                                f"is {actual.dtype} but the parameter "
+                                f"is declared {expected}"
+                            ),
+                            hint=reason.format(expected=expected),
+                        )
+                yield from self._check_returns(
+                    summary, function, caller_sig, env, lookup
+                )
+                for site in function.intdivs:
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=site.line, col=site.col,
+                        message=(
+                            f"true division over grid dimensions "
+                            f"({site.text}) in a shape/index context "
+                            f"in {function.qualname}(); the result is "
+                            "a float"
+                        ),
+                        hint="use // for an integer extent",
+                        severity="warning",
+                    )
+
+    def _check_returns(
+        self, summary, function, caller_sig, env, lookup
+    ) -> Iterator[Finding]:
+        if caller_sig is None or caller_sig.ret_dtype_declared is None:
+            return
+        declared = caller_sig.ret_dtype_declared
+        for desc in function.array_returns:
+            actual = eval_adesc(desc, env, lookup)
+            if actual is None or actual.dtype is None:
+                continue
+            reason = _DTYPE_VIOLATIONS.get((actual.dtype, declared))
+            if reason is None:
+                continue
+            yield self.project_finding(
+                path=summary.path,
+                line=function.line, col=function.col,
+                message=(
+                    f"{function.qualname}() declares return dtype "
+                    f"{declared} but a return expression is "
+                    f"{actual.dtype}"
+                ),
+                hint=reason.format(expected=declared),
+            )

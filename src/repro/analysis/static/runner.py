@@ -343,27 +343,37 @@ def analyze_paths(
 
     # central pragma suppression + unused-pragma notes
     used: Set[Tuple[str, int]] = set()
+    used_rules: Set[Tuple[str, int, str]] = set()
     kept: List[Finding] = []
     for finding in all_findings:
         allowed = pragma_maps.get(finding.path, {}).get(finding.line, ())
-        if allowed is None or (allowed != () and finding.rule in allowed):
+        if allowed is None:
             used.add((finding.path, finding.line))
+        elif allowed != () and finding.rule in allowed:
+            # per-rule accounting: a multi-rule pragma (R9,R10) may
+            # suppress one rule while the other never fires — the rot
+            # scan then names only the unfired rule
+            used_rules.add((finding.path, finding.line, finding.rule))
         else:
             kept.append(finding)
     full_run = rule_names is None
     for path, pragmas in sorted(pragma_maps.items()):
         for line, names in sorted(pragmas.items()):
-            if (path, line) in used:
-                continue
             if names is None:
-                if not full_run:
-                    continue  # a partial run proves nothing
+                if (path, line) in used or not full_run:
+                    continue  # used, or a partial run proves nothing
                 what = "suppresses no finding"
             else:
                 if not set(names) <= selected:
                     continue  # some named rules were not run
+                unfired = sorted(
+                    name for name in names
+                    if (path, line, name) not in used_rules
+                )
+                if not unfired:
+                    continue
                 what = (
-                    f"suppresses no {', '.join(sorted(names))} finding"
+                    f"suppresses no {', '.join(unfired)} finding"
                 )
             kept.append(Finding(
                 rule=UNUSED_PRAGMA_RULE, severity="note", path=path,

@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
+from .arrays import ArrayValue
 from .dimensions import DIMENSIONLESS, Dimension, DimensionError, parse_dimension
 
 #: JSON-serializable descriptor (nested lists of strings/ints).
@@ -123,6 +124,20 @@ class FunctionSignature:
     #: exempt from body re-inference: an offset conversion *must* mix
     #: scales internally, that is its job.
     fixed: bool = False
+    #: Array contracts (the v3 pass): symbolic parameter shapes/dtypes
+    #: seeded from ``units.array_shape``/``array_dtype`` annotations and
+    #: the :data:`repro.units.PARAMETER_SHAPES` naming table, plus the
+    #: return shape/dtype/provenance (declared or propagated by the
+    #: fixpoint in :mod:`.interp`).
+    param_shapes: Dict[str, Optional[List[object]]] = field(default_factory=dict)
+    param_dtypes: Dict[str, Optional[str]] = field(default_factory=dict)
+    ret_shape: Optional[List[object]] = None
+    ret_dtype: Optional[str] = None
+    ret_prov: Optional[str] = None
+    #: contracts declared by annotations (the body is verified against
+    #: these, where the non-declared fields above are merely inferred)
+    ret_shape_declared: Optional[List[object]] = None
+    ret_dtype_declared: Optional[str] = None
 
     def param_at(self, index: int) -> Optional[str]:
         if 0 <= index < len(self.param_order):
@@ -131,6 +146,19 @@ class FunctionSignature:
 
     def param_dim(self, name: str) -> Optional[Dimension]:
         return self.params.get(name)
+
+    def array_env(self) -> Dict[str, ArrayValue]:
+        """Parameter name -> :class:`ArrayValue` for descriptor eval."""
+        env: Dict[str, ArrayValue] = {}
+        for name in self.param_order:
+            shape = self.param_shapes.get(name)
+            dtype = self.param_dtypes.get(name)
+            if shape is None and dtype is None:
+                continue
+            env[name] = ArrayValue(
+                None if shape is None else tuple(shape), dtype, None
+            )
+        return env
 
 
 class SymbolicInferer:
@@ -266,8 +294,8 @@ def _dotted(node: ast.AST) -> Optional[str]:
     return None
 
 
-def load_unit_tables() -> Dict[str, Dict[str, str]]:
-    """The units.py dimension tables (text form, JSON-able)."""
+def load_unit_tables() -> Dict[str, Any]:
+    """The units.py dimension and shape tables (text form, JSON-able)."""
     from ... import units
 
     return units.signature_tables()

@@ -189,7 +189,8 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="physics-aware static analysis (units, cache invalidation, "
-             "hash determinism, pickle safety, float equality)",
+             "hash determinism, pickle safety, float equality, array "
+             "shape/dtype contracts, cache-alias mutation)",
     )
     analyze.add_argument("paths", nargs="*", default=["src"],
                          help="files/directories to analyze (default: src)")

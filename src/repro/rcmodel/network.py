@@ -70,11 +70,23 @@ class ThermalNetwork:
 
     @property
     def system_matrix(self) -> sparse.csc_matrix:
-        """``A = L + diag(g_amb)``, cached in CSC form for factorization."""
+        """``A = L + diag(g_amb)``, cached in CSC form for factorization.
+
+        The returned matrix is the cached instance itself, and the
+        steady solver keys its LU factor cache on this matrix's
+        content: an in-place edit of its buffers would silently
+        invalidate that keying.  The CSC buffers are therefore frozen —
+        mutate the network through its public fields and call
+        :meth:`invalidate` instead, or ``.copy()`` the matrix first.
+        """
         if self._system is None:
-            self._system = (
+            system = (
                 self._laplacian + sparse.diags(self.ambient_conductance)
             ).tocsc()
+            system.data.setflags(write=False)
+            system.indices.setflags(write=False)
+            system.indptr.setflags(write=False)
+            self._system = system
         return self._system
 
     def invalidate(self) -> None:

@@ -22,6 +22,7 @@ directions, or triage screens of one package pay the build once.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Annotated
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from ... import obs
 from ...errors import SolverError
 from .images import neumann_eigenvalues
 from .stack import SlabStack
+from ... import units
 
 _KERNEL_BUILDS = obs.metrics().counter("solver.analytic.kernel_builds")
 _KERNEL_CACHE_HITS = obs.metrics().counter("solver.analytic.kernel_cache_hits")
@@ -91,17 +93,29 @@ class SpectralKernel:
             raise SolverError(
                 f"analytic kernel build failed (singular chain): {exc}"
             ) from exc
-        #: ``(2 ny, nx + 1, L, n_injection)`` real responses.
+        #: ``(2 ny, nx + 1, L, n_injection)`` real responses.  Frozen:
+        #: kernels are shared process-wide through the LRU cache, and
+        #: :meth:`response` hands out views of this array — an in-place
+        #: write would corrupt every later solve on this stack.
         self._response = solved.reshape(
             n_modes_y, n_modes_x, n_layers, len(injection)
         )
+        self._response.setflags(write=False)
         self._column = {layer: k for k, layer in enumerate(injection)}
 
-    def response(self, out_layer: int, in_layer: int) -> np.ndarray:
+    def response(
+        self, out_layer: int, in_layer: int
+    ) -> Annotated[
+        np.ndarray,
+        units.array_shape("2*ny", "nx+1"),
+        units.cache_shared(),
+    ]:
         """Per-mode response at ``out_layer`` to injection at ``in_layer``.
 
         ``in_layer`` must be one of the stack's injection indices;
         output layers are unrestricted.  Shape ``(2 ny, nx + 1)``.
+        The returned view aliases the cached kernel and is read-only;
+        ``.copy()`` it before mutating.
         """
         try:
             column = self._column[in_layer]

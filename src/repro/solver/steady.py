@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import hashlib
 import time
-from typing import Dict, Union
+from typing import Annotated, Dict, Union
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import SuperLU, splu
 
 from .. import obs
+from .. import units
 from ..errors import SolverError
 from ..rcmodel.grid import ThermalGridModel
 from ..rcmodel.network import ThermalNetwork
@@ -70,7 +71,14 @@ def _factorize(network: ThermalNetwork) -> SuperLU:
     return factor
 
 
-def steady_state(network: ThermalNetwork, node_power: np.ndarray) -> np.ndarray:
+def steady_state(
+    network: ThermalNetwork,
+    node_power: Annotated[
+        np.ndarray, units.array_shape("n_nodes"), units.array_dtype("float64")
+    ],
+) -> Annotated[
+    np.ndarray, units.array_shape("n_nodes"), units.array_dtype("float64")
+]:
     """Solve for node temperature rises given a node power vector (W)."""
     node_power = np.asarray(node_power, dtype=float)
     if node_power.shape != (network.n_nodes,):

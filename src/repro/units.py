@@ -101,10 +101,40 @@ PARAMETER_DIMENSIONS = {
     "power": "W",
 }
 
+#: Symbolic shapes of well-known *parameter* names: the array-contract
+#: pass (:mod:`repro.analysis.static.arrays`) seeds function shape
+#: signatures from these when a parameter carries no explicit
+#: :func:`array_shape` annotation.  Values are tuples of dimension
+#: tokens; the same token always denotes the same extent project-wide,
+#: so only names with one unambiguous layout belong here.
+PARAMETER_SHAPES = {
+    "node_power": ("n_nodes",),
+    "cell_power": ("n_cells",),
+    "node_rise": ("n_nodes",),
+    "power_modes": ("2*ny", "nx+1"),
+}
+
+#: Integer parameter/attribute names that denote array extents.  When
+#: one of these appears in a shape expression (``np.zeros((n_nodes,
+#: K))``, ``field.reshape(ny, nx)``, ``stack.nx``), the analyzer reads
+#: it as the symbolic dimension of that name, unifying extents across
+#: call edges the same way :data:`PARAMETER_DIMENSIONS` unifies units.
+DIMENSION_PARAMETERS = (
+    "n_nodes", "n_cells", "n_layers", "n_blocks", "n_modes",
+    "n_scenarios", "n_times", "n_records", "n_steps", "n_injection",
+    "K", "nx", "ny", "nz",
+)
+
 #: Prefix that :func:`quantity` attaches to its unit string inside
 #: ``typing.Annotated`` metadata, so annotations survive as plain
 #: strings at runtime while remaining recognizable to the analyzer.
 QUANTITY_PREFIX = "unit:"
+
+#: Prefixes for the array-contract annotations (:func:`array_shape`,
+#: :func:`array_dtype`, :func:`cache_shared`).
+SHAPE_PREFIX = "shape:"
+DTYPE_PREFIX = "dtype:"
+PROVENANCE_PREFIX = "prov:"
 
 
 def quantity(unit: str) -> str:
@@ -125,18 +155,63 @@ def quantity(unit: str) -> str:
     return f"{QUANTITY_PREFIX}{unit}"
 
 
+def array_shape(*dims: Union[str, int]) -> str:
+    """Declare the symbolic shape of an annotated numpy array.
+
+    Used inside ``typing.Annotated`` to give an array parameter or
+    return value a machine-checkable layout contract::
+
+        def advance(
+            state: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+        ) -> Annotated[np.ndarray, array_shape("n_nodes", "K")]: ...
+
+    Dimension tokens are rigid symbols: ``"n_nodes"`` always means the
+    node-count extent, project-wide, so passing a ``(K, n_nodes)``
+    array where ``(n_nodes, K)`` is declared is flagged even when the
+    two extents happen to be equal at runtime.  Tokens may be integers
+    or arithmetic over tokens (``"2*ny"``, ``"nx+1"``, ``"nx//2+1"``).
+    At runtime this is just a tagged string; the static analyzer
+    (:mod:`repro.analysis.static.arrays`) does the checking.
+    """
+    return SHAPE_PREFIX + ",".join(str(d).replace(" ", "") for d in dims)
+
+
+def array_dtype(name: str) -> str:
+    """Declare the dtype of an annotated numpy array.
+
+    Canonical names: ``"float64"``, ``"float32"``, ``"complex"``,
+    ``"int"``, ``"bool"``.  The analyzer's dtype-flow rule flags
+    complex values leaking past a declared-real boundary and silent
+    float32 downcasts into declared-float64 state.
+    """
+    return f"{DTYPE_PREFIX}{name}"
+
+
+def cache_shared() -> str:
+    """Declare that a returned array aliases process-wide cache storage.
+
+    Callers must :meth:`~numpy.ndarray.copy` before mutating — an
+    in-place op on the shared array would corrupt every later cache
+    hit.  The analyzer's cache-alias-mutation rule propagates this
+    provenance through assignments and wrapper returns.
+    """
+    return f"{PROVENANCE_PREFIX}cache-shared"
+
+
 def signature_tables() -> dict:
     """The machine-readable dimension tables, as one mapping.
 
     Export helper for the static analyzer: bundles every table that
-    contributes to dimension-signature inference, so the analyzer's
-    cache can fingerprint them (edits here must invalidate cached
-    per-file analysis results).
+    contributes to dimension- and array-signature inference, so the
+    analyzer's cache can fingerprint them (edits here must invalidate
+    cached per-file analysis results).
     """
     return {
         "dimensions": dict(DIMENSIONS),
         "attributes": dict(ATTRIBUTE_DIMENSIONS),
         "parameters": dict(PARAMETER_DIMENSIONS),
+        "shapes": {name: list(dims) for name, dims in PARAMETER_SHAPES.items()},
+        "dimension_parameters": list(DIMENSION_PARAMETERS),
     }
 
 #: Offset between the Kelvin and Celsius scales.

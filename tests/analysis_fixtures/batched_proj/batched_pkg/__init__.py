@@ -1,0 +1,1 @@
+"""Cross-module transposed-state fixture for the shape-flow rule."""

@@ -1,0 +1,19 @@
+"""Drives the engine — with the classic transposed-state seeding bug.
+
+The driver allocates the scenario block scenario-major, ``(K,
+n_nodes)``, and hands it straight to the node-major engine.  Every
+single-file rule stays silent (each module is locally consistent), and
+tier-1-style tests run green whenever the test grid is small enough
+that ``K == n_nodes``.  Only linking the engine's ``array_shape``
+signature against this call site reveals the transposition.
+"""
+
+import numpy as np
+
+from batched_pkg.engine import advance_states
+
+
+def run_scenarios(n_nodes: int, K: int, decay: float) -> np.ndarray:
+    # BUG: scenario-major allocation passed to the node-major engine.
+    states = np.zeros((K, n_nodes))
+    return advance_states(states, decay)

@@ -1,0 +1,24 @@
+"""A miniature batched transient engine: states are (n_nodes, K).
+
+Node-major layout is the engine's contract — each column is one
+scenario's temperature state, so the implicit step can solve all K
+right-hand sides in one call.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import array_shape
+
+
+def advance_states(
+    states: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+    decay: float,
+) -> Annotated[np.ndarray, array_shape("n_nodes", "K")]:
+    return states * decay
+
+
+def peak_per_scenario(
+    states: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+) -> np.ndarray:
+    return states.max(axis=0)

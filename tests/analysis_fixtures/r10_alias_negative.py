@@ -1,0 +1,53 @@
+"""R10 negative fixture: every mutation here is safe.
+
+A ``.copy()`` between the cache lookup and the write launders the
+provenance back to fresh; fresh local arrays may be mutated freely;
+reading a cached array without writing it is fine; and unknown
+provenance never produces a finding.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import cache_shared
+
+_CACHE = {}
+
+
+def kernel_for(key) -> Annotated[np.ndarray, cache_shared()]:
+    if key not in _CACHE:
+        _CACHE[key] = np.zeros((8, 8))
+    return _CACHE[key]
+
+
+def halve(block: np.ndarray) -> np.ndarray:
+    block /= 2.0
+    return block
+
+
+def scale_copy(key) -> np.ndarray:
+    kern = kernel_for(key).copy()
+    kern *= 2.0
+    return kern
+
+
+def write_fresh(key, n: int) -> np.ndarray:
+    out = np.zeros((n, n))
+    out[0] = 1.0
+    out += kernel_for(key)  # reading the cached array is fine
+    return out
+
+
+def accumulate_into_fresh(key, update: np.ndarray) -> np.ndarray:
+    out = np.empty_like(update)
+    np.add(kernel_for(key), update, out=out)
+    return out
+
+
+def call_with_copy(key) -> np.ndarray:
+    return halve(kernel_for(key).copy())
+
+
+def read_only(key) -> float:
+    kern = kernel_for(key)
+    return float(kern.sum())

@@ -1,0 +1,65 @@
+"""R10 positive fixture: in-place mutation of cache-shared arrays.
+
+``kernel_for`` models the analytic kernel LRU: it returns the cached
+array itself (annotated ``cache_shared``), so every in-place write
+corrupts all later lookups.  The seeded bugs cover each mutation kind
+the rule recognizes — aug-assign, slice assignment, ``out=``, a
+mutating method — plus the call-edge case where a cache-shared array
+is handed to a function that mutates its parameter.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import cache_shared
+
+_CACHE = {}
+
+
+def kernel_for(key) -> Annotated[np.ndarray, cache_shared()]:
+    if key not in _CACHE:
+        _CACHE[key] = np.zeros((8, 8))
+    return _CACHE[key]
+
+
+def shared_kernel(key) -> np.ndarray:
+    # provenance propagates through the wrapper: still cache-shared
+    return kernel_for(key)
+
+
+def halve(block: np.ndarray) -> np.ndarray:
+    block /= 2.0  # mutates its parameter (silent here: prov unknown)
+    return block
+
+
+def corrupt_augassign(key) -> np.ndarray:
+    kern = kernel_for(key)
+    # BUG: scales the cached array in place.
+    kern *= 2.0
+    return kern
+
+
+def corrupt_slice(key) -> np.ndarray:
+    kern = kernel_for(key)
+    # BUG: overwrites a row of the cached array.
+    kern[0] = 1.0
+    return kern
+
+
+def corrupt_out(key, update: np.ndarray) -> np.ndarray:
+    kern = kernel_for(key)
+    # BUG: accumulates into the cached array via out=.
+    np.add(kern, update, out=kern)
+    return kern
+
+
+def corrupt_method(key) -> np.ndarray:
+    kern = kernel_for(key)
+    # BUG: fill() rewrites the cached array wholesale.
+    kern.fill(0.0)
+    return kern
+
+
+def corrupt_through_call(key) -> np.ndarray:
+    # BUG: hands the cache-shared wrapper result to a mutating callee.
+    return halve(shared_kernel(key))

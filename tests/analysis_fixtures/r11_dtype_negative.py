@@ -1,0 +1,49 @@
+"""R11 negative fixture: the sanctioned dtype boundaries.
+
+``irfft2`` and ``.real`` legitimately exit the complex domain; floor
+division keeps grid extents integral; and upcasts (float64 into a
+complex slot) are always safe.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import array_dtype
+
+
+def spectral_density(field: np.ndarray) -> np.ndarray:
+    return np.fft.rfft2(field)
+
+
+def accumulate(
+    state: Annotated[np.ndarray, array_dtype("float64")],
+) -> np.ndarray:
+    return state + 1.0
+
+
+def mix(modes: Annotated[np.ndarray, array_dtype("complex")]) -> np.ndarray:
+    return modes
+
+
+def surface_field_inverse(
+    modes: np.ndarray, ny: int, nx: int
+) -> Annotated[np.ndarray, array_dtype("float64")]:
+    return np.fft.irfft2(modes, s=(ny, nx))
+
+
+def surface_field_real(
+    field: np.ndarray,
+) -> Annotated[np.ndarray, array_dtype("float64")]:
+    return spectral_density(field).real
+
+
+def exact_call(field: np.ndarray) -> np.ndarray:
+    return accumulate(np.asarray(field, dtype=np.float64))
+
+
+def upcast_is_fine(field: np.ndarray) -> np.ndarray:
+    return mix(np.zeros((4, 4)))
+
+
+def halfwidth_modes(ny: int, nx: int) -> np.ndarray:
+    return np.zeros((ny, nx // 2 + 1))

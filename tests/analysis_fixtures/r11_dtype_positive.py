@@ -1,0 +1,39 @@
+"""R11 positive fixture: dtype-contract violations.
+
+Seeded bugs: complex spectral data leaking past a declared-float64
+return (the sanctioned exits are ``irfft2`` and ``.real``), a silent
+float32 downcast into a declared-float64 parameter, and true division
+over grid-dimension tokens in a shape expression.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import array_dtype
+
+
+def spectral_density(field: np.ndarray) -> np.ndarray:
+    return np.fft.rfft2(field)
+
+
+def accumulate(
+    state: Annotated[np.ndarray, array_dtype("float64")],
+) -> np.ndarray:
+    return state + 1.0
+
+
+def surface_field(
+    field: np.ndarray,
+) -> Annotated[np.ndarray, array_dtype("float64")]:
+    # BUG: returns the complex spectrum where real data is declared.
+    return spectral_density(field)
+
+
+def lossy_call(field: np.ndarray) -> np.ndarray:
+    # BUG: silently downcasts to single precision before accumulating.
+    return accumulate(np.asarray(field, dtype=np.float32))
+
+
+def halfwidth_modes(ny: int, nx: int) -> np.ndarray:
+    # BUG: true division leaves a float extent in a shape tuple.
+    return np.zeros((ny, nx / 2 + 1))

@@ -1,0 +1,56 @@
+"""R9 negative fixture: the same operations with consistent layouts.
+
+Also exercises the deliberate silences: dimension tokens outside the
+project vocabulary are wildcards (an ad-hoc ``n`` never conflicts with
+``n_nodes``), a literal 1 broadcasts against anything, and unknown
+shapes never produce findings.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import array_shape
+
+
+def advance(
+    states: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+) -> np.ndarray:
+    return states * 2.0
+
+
+def correct_argument(n_nodes: int, K: int) -> np.ndarray:
+    states = np.zeros((n_nodes, K))
+    return advance(states)
+
+
+def transpose_then_fix(n_nodes: int, K: int) -> np.ndarray:
+    states = np.zeros((K, n_nodes))
+    return advance(states.T)
+
+
+def good_return(
+    n_nodes: int, K: int
+) -> Annotated[np.ndarray, array_shape("n_nodes", "K")]:
+    return np.zeros((n_nodes, K))
+
+
+def adhoc_token_is_wildcard(n: int, K: int) -> np.ndarray:
+    # 'n' is not a declared dimension parameter: treated as unknown, so
+    # no conflict with the declared 'n_nodes' extent.
+    states = np.zeros((n, K))
+    return advance(states)
+
+
+def good_broadcast(
+    state: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+    gains: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+) -> np.ndarray:
+    return state * gains
+
+
+def literal_one_broadcasts(
+    state: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+    n_nodes: int,
+) -> np.ndarray:
+    column = np.ones((n_nodes, 1))
+    return state * column

@@ -1,0 +1,49 @@
+"""R9 positive fixture: symbolic array-shape mismatches in one module.
+
+Each seeded bug is a distinct kind the shape-flow pass checks: a
+transposed call argument, a rank mismatch, a return contradicting the
+declared ``array_shape`` annotation, and a provably incompatible
+elementwise broadcast.  Every dimension token used here (``n_nodes``,
+``K``) is in the project vocabulary, so the extents are *known* and
+the conflicts are provable.
+"""
+
+import numpy as np
+from typing import Annotated
+
+from repro.units import array_shape
+
+
+def advance(
+    states: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+) -> np.ndarray:
+    return states * 2.0
+
+
+def transposed_argument(n_nodes: int, K: int) -> np.ndarray:
+    # BUG: builds the state block (K, n_nodes) but advance() declares
+    # (n_nodes, K) — green under tier-1 whenever K == n_nodes.
+    states = np.zeros((K, n_nodes))
+    return advance(states)
+
+
+def rank_mismatch(n_nodes: int) -> np.ndarray:
+    # BUG: hands a 1-D vector to the 2-D batched entry point.
+    flat = np.zeros(n_nodes)
+    return advance(flat)
+
+
+def bad_return(
+    n_nodes: int, K: int
+) -> Annotated[np.ndarray, array_shape("n_nodes", "K")]:
+    # BUG: returns the transpose of the declared layout.
+    states = np.zeros((n_nodes, K))
+    return states.T
+
+
+def bad_broadcast(
+    state: Annotated[np.ndarray, array_shape("n_nodes", "K")],
+    gains: Annotated[np.ndarray, array_shape("K", "n_nodes")],
+) -> np.ndarray:
+    # BUG: elementwise product of provably incompatible layouts.
+    return state * gains

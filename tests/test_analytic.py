@@ -187,6 +187,34 @@ def test_kernel_cache_hits_on_same_fingerprint():
     assert builds.value == b0 + 2
 
 
+def test_cached_kernel_responses_are_read_only():
+    """The LRU-shared response tensor is frozen: a would-be in-place
+    corruption of a cached kernel now raises instead of silently
+    poisoning every later solve on the same stack."""
+    kernel_cache_clear()
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+    engine = AnalyticSteadyEngine(model)
+    stack = engine.stack
+    view = engine.kernel.response(stack.surface_index, stack.active_index)
+    assert not view.flags.writeable
+    with pytest.raises(ValueError):
+        view *= 2.0
+    with pytest.raises(ValueError):
+        view[0, 0] = 1.0
+    # the sanctioned path still works: copy, then mutate freely
+    scratch = view.copy()
+    scratch *= 2.0
+    assert scratch.flags.writeable
+    # and the cached kernel still solves correctly afterwards
+    power = _gcc_like_power()
+    reference = steady_block_temperatures(model, power)
+    predicted = analytic_block_temperatures(model, power)
+    for name in reference:
+        assert predicted[name] == pytest.approx(reference[name], abs=1e-6)
+
+
 def test_flow_directions_share_one_kernel():
     """δh is excluded from the fingerprint: fig11's 4 directions, 1 build."""
     from repro.convection.flow import ALL_DIRECTIONS

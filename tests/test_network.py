@@ -40,6 +40,27 @@ def test_system_matrix_is_symmetric_positive_definite():
     assert np.all(eigvals > 0)
 
 
+def test_system_matrix_buffers_are_frozen():
+    """The cached CSC aliases the steady solver's factor-cache keying:
+    a would-be in-place edit of its buffers raises instead of silently
+    desynchronizing matrix content and cached factorization."""
+    net, _, _ = build_two_node()
+    system = net.system_matrix
+    assert not system.data.flags.writeable
+    with pytest.raises(ValueError):
+        system.data[0] = 99.0
+    # reads and copies still work
+    assert system.toarray().shape == (2, 2)
+    mutable = system.copy()
+    mutable.data[0] = 99.0  # a copy is fair game
+    # invalidate() + reassembly still produces a fresh frozen matrix
+    net.invalidate()
+    again = net.system_matrix
+    assert again is not system
+    assert not again.data.flags.writeable
+    np.testing.assert_allclose(again.toarray(), system.toarray())
+
+
 def test_parallel_conductances_accumulate():
     builder = NetworkBuilder()
     a = builder.add_node(1.0)

@@ -37,6 +37,7 @@ from repro.analysis.static import (
 )
 from repro.analysis.static.dimensions import DIMENSIONLESS, DimensionError
 from repro.cli import main as cli_main
+from repro import units
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
@@ -313,6 +314,164 @@ def test_r8_ignores_code_outside_the_repro_package():
     assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
 
 
+# --- R9/R10/R11: array contracts --------------------------------------------
+
+
+def test_r9_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r9_shape_positive.py")], rule_names=["shape-flow"]
+    )
+    assert len(result.findings) == 4
+    assert all(f.severity == "error" for f in result.findings)
+    messages = " | ".join(f.message for f in result.findings)
+    assert "has shape (K, n_nodes), but the parameter is declared " \
+        "(n_nodes, K)" in messages
+    assert "has shape (n_nodes,), but the parameter is declared" in messages
+    assert "bad_return() declares return shape (n_nodes, K)" in messages
+    assert "'*' combines arrays of shape (n_nodes, K) and (K, n_nodes)" \
+        in messages
+
+
+def test_r9_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r9_shape_negative.py")], rule_names=["shape-flow"]
+    )
+    assert result.findings == []
+
+
+def test_r9_seeded_transposed_state_needs_the_interprocedural_pass():
+    """The (K, n_nodes)-for-(n_nodes, K) swap spans two files: only R9
+    sees it — and only symbolically, since K == n_nodes on the small
+    grids tier-1 tests use."""
+    flow = analyze_paths(
+        [str(FIXTURES / "batched_proj")], rule_names=["shape-flow"]
+    )
+    assert len(flow.findings) == 1
+    finding = flow.findings[0]
+    assert finding.rule == "shape-flow"
+    assert finding.path.endswith("driver.py")
+    assert "advance_states" in finding.message
+    assert "(K, n_nodes)" in finding.message
+    # every per-file rule stays silent: each file is locally consistent
+    per_file = analyze_paths(
+        [str(FIXTURES / "batched_proj")],
+        rule_names=[
+            "unit-consistency", "cache-invalidation", "hash-determinism",
+            "pickle-safety", "float-equality", "obs-taxonomy",
+        ],
+    )
+    assert per_file.findings == []
+
+
+def test_r10_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r10_alias_positive.py")],
+        rule_names=["cache-alias-mutation"],
+    )
+    assert len(result.findings) == 5
+    assert all(f.severity == "error" for f in result.findings)
+    messages = " | ".join(f.message for f in result.findings)
+    assert "augmented assignment (kern *=)" in messages
+    assert "slice assignment (kern[...] =)" in messages
+    assert "out= destination (out=kern)" in messages
+    assert "mutating method call (kern.fill())" in messages
+    assert "mutates parameter 'block' in place" in messages
+    assert all("copy" in f.hint for f in result.findings)
+
+
+def test_r10_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r10_alias_negative.py")],
+        rule_names=["cache-alias-mutation"],
+    )
+    assert result.findings == []
+
+
+def test_r10_flags_unannotated_known_cache_roots(tmp_path):
+    """The steady LU factor cache spelling is a root even without an
+    annotation: mutating its result is flagged by name."""
+    target = tmp_path / "lu.py"
+    target.write_text(
+        "def corrupt(network):\n"
+        "    fingerprint, factor = network._cached_lu_factor\n"
+        "    kern = _cached_lu_factor(network)\n"
+        "    kern *= 2.0\n"
+        "    return kern\n"
+    )
+    result = analyze_paths(
+        [str(target)], rule_names=["cache-alias-mutation"]
+    )
+    assert [f.line for f in result.findings] == [4]
+
+
+def test_r11_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r11_dtype_positive.py")], rule_names=["dtype-flow"]
+    )
+    assert len(result.findings) == 3
+    messages = " | ".join(f.message for f in result.findings)
+    assert "declares return dtype float64 but a return expression is " \
+        "complex" in messages
+    assert "is float32 but the parameter is declared float64" in messages
+    assert "true division over grid dimensions (nx/2)" in messages
+    by_severity = sorted(f.severity for f in result.findings)
+    assert by_severity == ["error", "error", "warning"]
+
+
+def test_r11_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r11_dtype_negative.py")], rule_names=["dtype-flow"]
+    )
+    assert result.findings == []
+
+
+def test_multi_rule_pragma_suppression_and_per_rule_rot_scan(tmp_path):
+    """``# repro-ok: R9,R10`` suppresses both rules on one line; where
+    only one of the two actually fires, the rot scan names just the
+    unfired rule."""
+    target = tmp_path / "pragma_pair.py"
+    target.write_text(
+        "import numpy as np\n"
+        "from typing import Annotated\n"
+        "from repro.units import array_shape, cache_shared\n"
+        "\n"
+        "_CACHE = {}\n"
+        "\n"
+        "\n"
+        "def kernel_for(key) -> Annotated[\n"
+        "    np.ndarray, array_shape('K', 'n_nodes'), cache_shared()\n"
+        "]:\n"
+        "    if key not in _CACHE:\n"
+        "        _CACHE[key] = np.zeros((3, 3))\n"
+        "    return _CACHE[key]\n"
+        "\n"
+        "\n"
+        "def resample(\n"
+        "    block: Annotated[np.ndarray, array_shape('n_nodes', 'K')],\n"
+        ") -> np.ndarray:\n"
+        "    block *= 2.0\n"
+        "    return block\n"
+        "\n"
+        "\n"
+        "def both_suppressed(key):\n"
+        "    return resample(kernel_for(key))  # repro-ok: R9,R10\n"
+        "\n"
+        "\n"
+        "def only_shape_fires(\n"
+        "    fresh: Annotated[np.ndarray, array_shape('K', 'n_nodes')],\n"
+        "):\n"
+        "    return resample(fresh)  # repro-ok: R9,R10\n"
+    )
+    full = analyze_paths([str(target)])
+    assert [f for f in full.findings
+            if f.rule in ("shape-flow", "cache-alias-mutation")] == []
+    notes = [f for f in full.findings if f.rule == "unused-pragma"]
+    assert len(notes) == 1
+    assert notes[0].line == 30
+    assert "suppresses no cache-alias-mutation finding" in notes[0].message
+    assert "shape-flow" not in notes[0].message
+
+
 # --- whole-program machinery ------------------------------------------------
 
 
@@ -502,6 +661,26 @@ def test_project_rules_fire_from_cached_summaries(tmp_path):
                          use_cache=True, cache_dir=cache_dir)
     assert warm.cache_hits == 1
     assert len(cold.findings) == len(warm.findings) == 3
+
+
+def test_cache_invalidates_when_shape_tables_change(tmp_path, monkeypatch):
+    """The config fingerprint covers PARAMETER_SHAPES: editing the
+    shape table must turn warm hits back into misses."""
+    target = tmp_path / "shaped.py"
+    target.write_text(
+        "import numpy as np\n"
+        "def apply(node_power):\n"
+        "    return np.asarray(node_power) * 2.0\n"
+    )
+    cache_dir = str(tmp_path / "cache")
+    analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    warm = analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    assert warm.cache_hits == 1
+    monkeypatch.setitem(units.PARAMETER_SHAPES, "node_power", ("n_cells",))
+    changed = analyze_paths(
+        [str(target)], use_cache=True, cache_dir=cache_dir
+    )
+    assert changed.cache_hits == 0
 
 
 def test_corrupt_cache_entry_is_a_miss(tmp_path):
@@ -730,6 +909,32 @@ def test_golden_r6_sarif_output():
     assert len(run["results"]) == 3
 
 
+def _golden_r9_findings():
+    result = analyze_paths(
+        [str(FIXTURES / "r9_shape_positive.py")], rule_names=["shape-flow"]
+    )
+    return [
+        type(f)(rule=f.rule, severity=f.severity,
+                path="tests/analysis_fixtures/r9_shape_positive.py",
+                line=f.line, col=f.col, message=f.message, hint=f.hint)
+        for f in result.findings
+    ]
+
+
+def test_golden_r9_json_output():
+    text = format_json(_golden_r9_findings())
+    assert text == (FIXTURES / "golden_r9.json").read_text()
+
+
+def test_golden_r9_sarif_output():
+    text = format_sarif(_golden_r9_findings(), make_rules(["shape-flow"]))
+    assert text == (FIXTURES / "golden_r9.sarif").read_text()
+    payload = json.loads(text)
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["rules"][0]["id"] == "shape-flow"
+    assert len(run["results"]) == 4
+
+
 # --- CLI --------------------------------------------------------------------
 
 
@@ -824,16 +1029,19 @@ def test_src_tree_is_clean_against_committed_baseline():
     )
 
 
-def test_all_eight_rules_registered():
+def test_all_eleven_rules_registered():
     assert rule_names() == [
+        "cache-alias-mutation",
         "cache-invalidation",
+        "dtype-flow",
         "float-equality",
         "hash-determinism",
         "obs-taxonomy",
         "pickle-safety",
         "pool-safety",
+        "shape-flow",
         "unit-consistency",
         "unit-flow",
     ]
-    assert set(RULE_ALIASES) == {f"R{i}" for i in range(1, 9)}
+    assert set(RULE_ALIASES) == {f"R{i}" for i in range(1, 12)}
     assert sorted(RULE_ALIASES.values()) == rule_names()
