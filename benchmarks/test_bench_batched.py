@@ -61,6 +61,14 @@ def write_artifact():
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(merged, fh, indent=2, sort_keys=True)
     print(f"\n  wrote {path}")
+    if "solver" in ARTIFACT:
+        from benchmarks.conftest import ledger_append
+
+        ledger_append("bench_batched", {
+            "serial_s": ARTIFACT["solver"]["serial_s"],
+            "batched_s": ARTIFACT["solver"]["batched_s"],
+            "batch_speedup": ARTIFACT["solver"]["speedup"],
+        })
 
 
 def _best_of(fn, reps=3):

@@ -15,12 +15,18 @@ runs once per machine, not once per process.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: counter updates fall back to lock-free
+    fcntl = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:
     from ..power.trace import PowerTrace
@@ -115,22 +121,43 @@ class ResultCache:
         return {str(k): int(v) for k, v in data.items()
                 if isinstance(v, (int, float))}
 
+    @contextlib.contextmanager
+    def _counters_lock(self) -> Iterator[None]:
+        """Advisory cross-process lock for the counters read-modify-write.
+
+        ``flock`` on a sidecar lockfile serializes concurrent campaigns'
+        increments; where ``fcntl`` is unavailable the update degrades
+        to the old lock-free best effort.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.root / "counters.json.lock"
+        with open(lock_path, "a", encoding="utf-8") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def _bump(self, name: str, n: int = 1) -> None:
         """Count one cache event: session, global metrics, and on disk.
 
-        The on-disk update is read-modify-write without a lock —
-        concurrent workers may lose an increment, which is acceptable
-        for observability counters and keeps the store lock-free.
+        The on-disk update is a read-modify-write under an advisory
+        file lock (:meth:`_counters_lock`) plus an atomic temp-file
+        replace, so two concurrent campaigns bumping the same store
+        can interleave without either losing an increment.
         """
         self.counters[name] = self.counters.get(name, 0) + n
         obs.metrics().counter(f"campaign.cache.{name}").inc(n)
         try:
-            totals = self.persisted_counters()
-            totals[name] = totals.get(name, 0) + n
-            self._atomic_write(
-                self._counters_path(),
-                json.dumps(totals, sort_keys=True).encode("utf-8"),
-            )
+            with self._counters_lock():
+                totals = self.persisted_counters()
+                totals[name] = totals.get(name, 0) + n
+                self._atomic_write(
+                    self._counters_path(),
+                    json.dumps(totals, sort_keys=True).encode("utf-8"),
+                )
         except OSError:  # read-only store: session counters still work
             pass
 

@@ -59,7 +59,11 @@ _JOB_SECONDS = obs.metrics().histogram("campaign.job.wall_seconds")
 WorkerReturn = Tuple[JobResult, float, int, Optional[Dict[str, Any]]]
 
 
-def execute_job(spec: JobSpec, capture: bool = False) -> WorkerReturn:
+def execute_job(
+    spec: JobSpec,
+    capture: bool = False,
+    stream: Optional[obs.StreamConfig] = None,
+) -> WorkerReturn:
     """Run one job in the current process (the worker entry point).
 
     Module-level so it pickles to pool workers.  With ``capture`` the
@@ -67,23 +71,45 @@ def execute_job(spec: JobSpec, capture: bool = False) -> WorkerReturn:
     observability record: the serialized span tree, a flat metrics
     delta for manifests, and the structured delta snapshot for merging
     into the parent registry.
+
+    With ``stream`` the job additionally publishes live telemetry
+    while it runs — a ``job_started`` event plus heartbeats carrying
+    the cumulative metric delta since start (see
+    :mod:`repro.obs.events`).  Streaming is strictly advisory: events
+    are dropped rather than ever blocking the job, and the returned
+    capture record is byte-for-byte what a streaming-disabled run
+    produces (the authoritative ``job_finished`` is emitted by the
+    parent from this return value).
     """
     start = time.perf_counter()
+    registry = obs.metrics()
     if not capture:
-        result = get_runner(spec.kind)(spec)
+        before = registry.snapshot() if stream is not None else None
+        _, heartbeat = obs.job_telemetry(
+            stream, spec.tag, spec.kind, registry, before
+        )
+        try:
+            result = get_runner(spec.kind)(spec)
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
         return result, time.perf_counter() - start, os.getpid(), None
 
     tracer = obs.tracer()
     was_enabled = tracer.enabled
     tracer.enabled = True
-    registry = obs.metrics()
     before = registry.snapshot()
+    _, heartbeat = obs.job_telemetry(
+        stream, spec.tag, spec.kind, registry, before
+    )
     try:
         with obs.Span("campaign.job", {"tag": spec.tag, "kind": spec.kind},
                       tracer=tracer) as job_span:
             result = get_runner(spec.kind)(spec)
     finally:
         tracer.enabled = was_enabled
+        if heartbeat is not None:
+            heartbeat.stop()
     delta = obs.snapshot_diff(registry.snapshot(), before)
     capture_record: Dict[str, Any] = {
         "pid": os.getpid(),
@@ -123,11 +149,17 @@ class JobOutcome:
         """
         if not self.obs:
             return None
-        return {
+        record: Dict[str, Any] = {
             "worker_pid": self.obs.get("pid"),
-            "spans": obs.span_summary([self.obs["span"]]),
+            "spans": (obs.span_summary([self.obs["span"]])
+                      if self.obs.get("span") else []),
             "metrics": self.obs.get("metrics", {}),
         }
+        # Batched jobs carry an even 1/K share of the group's delta
+        # (see _run_batched); record K so readers know it's apportioned.
+        if self.obs.get("apportioned"):
+            record["apportioned"] = self.obs["apportioned"]
+        return record
 
     def record(self, campaign: str) -> Dict[str, Any]:
         """The manifest record for this outcome."""
@@ -209,20 +241,48 @@ def _report(
         progress(line)
 
 
+def _emit_outcome(
+    stream: Optional[obs.EventStream], outcome: JobOutcome
+) -> None:
+    """Publish the parent-side authoritative completion event.
+
+    Completion events come from the parent's outcome — not the worker —
+    so failures, timeouts, and cache hits all stream uniformly, and a
+    worker whose events were dropped still gets a correct final record.
+    """
+    if stream is None:
+        return
+    if outcome.status == "cached":
+        stream.emit("job_cached", tag=outcome.spec.tag,
+                    kind=outcome.spec.kind, elapsed_s=outcome.wall_s)
+        return
+    metrics = outcome.obs.get("metrics", {}) if outcome.obs else {}
+    stream.emit(
+        "job_finished", tag=outcome.spec.tag, kind=outcome.spec.kind,
+        status=outcome.status, elapsed_s=outcome.wall_s,
+        worker=outcome.worker, retries=outcome.retries,
+        error=outcome.error, metrics=metrics,
+    )
+
+
 def _run_serial(
     pending: List[JobSpec],
     retries: int,
     backoff: float,
     progress: Optional[Callable[[str], None]],
     capture: bool,
+    stream: Optional[obs.EventStream] = None,
 ) -> Dict[str, JobOutcome]:
+    stream_cfg = stream.local_config() if stream is not None else None
     outcomes: Dict[str, JobOutcome] = {}
     for spec in pending:
         attempt = 0
         while True:
             _ATTEMPTS.inc()
             try:
-                result, wall, pid, captured = execute_job(spec, capture)
+                result, wall, pid, captured = execute_job(
+                    spec, capture, stream_cfg
+                )
                 _JOB_SECONDS.observe(wall)
                 outcomes[spec.tag] = JobOutcome(
                     spec=spec, status="ok", result=result, wall_s=wall,
@@ -245,12 +305,15 @@ def _run_serial(
                 )
                 break
         _report(outcomes[spec.tag], progress)
+        _emit_outcome(stream, outcomes[spec.tag])
     return outcomes
 
 
 def _run_batched(
     pending: List[JobSpec],
     progress: Optional[Callable[[str], None]],
+    capture: bool = False,
+    stream: Optional[obs.EventStream] = None,
 ) -> Tuple[Dict[str, JobOutcome], List[JobSpec]]:
     """Execute same-model job groups in-process through batch runners.
 
@@ -260,15 +323,31 @@ def _run_batched(
     normal per-job execution, so batching can only change cost, never
     the campaign's results.  Batched outcomes report ``worker``
     ``"batched"`` and the group's amortized per-job wall time.
+
+    With ``capture``, the group's metric delta is measured around the
+    lockstep run and apportioned evenly across its K member jobs
+    (:func:`repro.obs.scale_snapshot`), so manifest ``"obs"`` records
+    stay populated under batching instead of silently lumping K jobs'
+    solver counters into nothing.  Apportioned records carry
+    ``"snapshot": None`` and this process's pid — the deltas are
+    already counted in the parent registry, so the cross-process merge
+    loop must not fold them again.
     """
     from .batching import batch_groups, get_batch_runner
 
     groups, rest = batch_groups(pending)
     outcomes: Dict[str, JobOutcome] = {}
+    registry = obs.metrics()
     for group in groups:
         kind = group[0].kind
         start = time.perf_counter()
         _ATTEMPTS.inc(len(group))
+        if stream is not None:
+            for spec in group:
+                stream.emit("job_started", tag=spec.tag, kind=kind)
+                stream.emit("job_heartbeat", tag=spec.tag, kind=kind,
+                            elapsed_s=0.0, metrics={}, batched=True)
+        before = registry.snapshot() if capture else None
         try:
             with obs.span("campaign.batch", kind=kind, n_jobs=len(group)):
                 results = get_batch_runner(kind)(group)
@@ -288,13 +367,29 @@ def _run_batched(
             continue
         wall = (time.perf_counter() - start) / len(group)
         _BATCHED.inc(len(group))
+        share: Optional[Dict[str, float]] = None
+        if before is not None:
+            delta = obs.snapshot_diff(registry.snapshot(), before)
+            share = obs.flatten_snapshot(
+                obs.scale_snapshot(delta, 1.0 / len(group))
+            )
         for spec in group:
             _JOB_SECONDS.observe(wall)
+            captured: Optional[Dict[str, Any]] = None
+            if share is not None:
+                captured = {
+                    "pid": os.getpid(),
+                    "span": None,
+                    "metrics": dict(share),
+                    "snapshot": None,
+                    "apportioned": len(group),
+                }
             outcomes[spec.tag] = JobOutcome(
                 spec=spec, status="ok", result=results[spec.tag],
-                wall_s=wall, worker="batched",
+                wall_s=wall, worker="batched", obs=captured,
             )
             _report(outcomes[spec.tag], progress)
+            _emit_outcome(stream, outcomes[spec.tag])
     return outcomes, rest
 
 
@@ -306,15 +401,20 @@ def _run_parallel(
     backoff: float,
     progress: Optional[Callable[[str], None]],
     capture: bool,
+    stream: Optional[obs.EventStream] = None,
 ) -> Dict[str, JobOutcome]:
     from concurrent.futures import ProcessPoolExecutor
 
+    # Only a cross-process-capable stream (a manager-backed queue) can
+    # be pickled out to pool workers; otherwise workers run silent and
+    # the parent still emits the completion events.
+    stream_cfg = stream.worker_config() if stream is not None else None
     outcomes: Dict[str, JobOutcome] = {}
     pool = ProcessPoolExecutor(max_workers=jobs)
     abandoned = False
     try:
         futures = [
-            (pool.submit(execute_job, spec, capture), spec)
+            (pool.submit(execute_job, spec, capture, stream_cfg), spec)
             for spec in pending
         ]
         _ATTEMPTS.inc(len(futures))
@@ -349,7 +449,8 @@ def _run_parallel(
                         _backoff_sleep(backoff, attempt)
                         attempt += 1
                         _ATTEMPTS.inc()
-                        fut = pool.submit(execute_job, spec, capture)
+                        fut = pool.submit(execute_job, spec, capture,
+                                          stream_cfg)
                         continue
                     _FAILURES.inc()
                     outcomes[spec.tag] = JobOutcome(
@@ -359,6 +460,7 @@ def _run_parallel(
                     )
                     break
             _report(outcomes[spec.tag], progress)
+            _emit_outcome(stream, outcomes[spec.tag])
     finally:
         # A timed-out worker cannot be interrupted; don't block the
         # campaign on it — abandon the pool and let it drain on exit.
@@ -408,6 +510,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     capture_obs: Optional[bool] = None,
     batch: bool = True,
+    stream: Optional[obs.EventStream] = None,
 ) -> CampaignRun:
     """Execute a campaign; see the module docstring for semantics.
 
@@ -442,14 +545,34 @@ def run_campaign(
         each such group as one in-process lockstep solve (see
         :mod:`repro.campaign.batching`); results are bitwise identical
         to per-job execution, groups that cannot batch fall back
-        automatically.  Batched jobs have no per-job obs capture (their
-        spans land on this process's tracer instead).
+        automatically.  Batched jobs' spans land on this process's
+        tracer; their metric deltas are measured around the group run
+        and apportioned evenly across member jobs when capturing.
+    stream:
+        Optional live-telemetry stream (see
+        :class:`repro.obs.EventStream`).  Workers publish
+        ``job_started``/``job_heartbeat`` events while running; the
+        parent emits the authoritative lifecycle events
+        (``campaign_started``, ``job_cached``, ``job_finished``,
+        ``campaign_finished``) from outcomes.  Streaming never changes
+        results or recorded metrics — drop-tolerant advisory telemetry
+        only.  When a ``manifest_path`` is also given, events mirror to
+        ``<manifest_path>.events.jsonl`` for ``repro obs tail``.
     """
     capture = obs.tracing_enabled() if capture_obs is None else capture_obs
     start = time.perf_counter()
     run = CampaignRun(campaign=campaign, manifest_path=manifest_path)
     logger.debug("campaign %s: %d jobs, %d worker(s), capture=%s",
                  campaign.name, len(campaign.jobs), jobs, capture)
+    if stream is not None:
+        stream.start()
+        if manifest_path:
+            stream.attach_jsonl(manifest_path + ".events.jsonl")
+        stream.emit(
+            "campaign_started", campaign=campaign.name,
+            total=len(campaign.jobs),
+            tags=[spec.tag for spec in campaign.jobs],
+        )
 
     with obs.span("campaign.run", campaign=campaign.name,
                   n_jobs=len(campaign.jobs), workers=jobs):
@@ -467,20 +590,21 @@ def run_campaign(
                             worker="cache",
                         )
                         _report(cached[spec.tag], progress)
+                        _emit_outcome(stream, cached[spec.tag])
                         continue
                 pending.append(spec)
             probe.annotate(hits=len(cached), misses=len(pending))
 
         fresh: Dict[str, JobOutcome] = {}
         if pending and batch:
-            fresh, pending = _run_batched(pending, progress)
+            fresh, pending = _run_batched(pending, progress, capture, stream)
         if pending:
             use_pool = jobs > 1 and len(pending) > 1
             if use_pool:
                 try:
                     fresh.update(_run_parallel(
                         pending, jobs, timeout, retries, backoff, progress,
-                        capture,
+                        capture, stream,
                     ))
                     run.parallel = True
                 except Exception as exc:  # pool unavailable: degrade to serial
@@ -492,7 +616,8 @@ def run_campaign(
                     use_pool = False
             if not use_pool:
                 fresh.update(
-                    _run_serial(pending, retries, backoff, progress, capture)
+                    _run_serial(pending, retries, backoff, progress, capture,
+                                stream)
                 )
 
         # Fold worker-side metric deltas into this process's registry so
@@ -523,4 +648,14 @@ def run_campaign(
                 writer.job(record)
             writer.summary(run.summary)
             logger.debug("manifest appended: %s", manifest_path)
+    if stream is not None:
+        stream.emit(
+            "campaign_finished", campaign=campaign.name,
+            total=len(campaign.jobs),
+            duration_s=time.perf_counter() - start,
+            ok=run.ok,
+        )
+        # Flush the queue so the buffer/sidecar hold the full run before
+        # the caller renders or tails it (best effort; never blocks long).
+        stream.sync(timeout=5.0)
     return run

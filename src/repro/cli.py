@@ -163,6 +163,23 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--trace", default=None, metavar="PATH",
                       help="enable span tracing and write a Chrome "
                            "trace-event file here")
+    crun.add_argument("--live", action="store_true",
+                      help="stream job lifecycle events while the "
+                           "campaign runs and render live progress "
+                           "(throughput, cache rate, ETA); also mirrors "
+                           "events to <manifest>.events.jsonl for "
+                           "'repro obs tail'")
+    crun.add_argument("--heartbeat", type=float, default=0.5, metavar="S",
+                      help="live-mode worker heartbeat cadence, seconds "
+                           "(default 0.5)")
+    crun.add_argument("--sample", default=None, metavar="PATH",
+                      help="sample metrics + process resources (RSS, CPU, "
+                           "GC) on a wall-clock cadence during the run and "
+                           "write the time series as JSONL here")
+    crun.add_argument("--sample-interval", type=float, default=0.25,
+                      metavar="S",
+                      help="resource sampling cadence, seconds "
+                           "(default 0.25)")
     crun.add_argument("--triage", action="store_true",
                       help="pre-screen jobs with the analytic engine and "
                            "dispatch only those predicted to cross the "
@@ -279,6 +296,61 @@ def _build_parser() -> argparse.ArgumentParser:
     treport.add_argument("--check", action="store_true",
                          help="validate against the Chrome trace-event "
                               "schema and exit non-zero on problems")
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="live telemetry and the perf-regression ledger: tail a "
+             "running campaign's event stream, report/check bench "
+             "trajectories",
+    )
+    osub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    otail = osub.add_parser(
+        "tail",
+        help="follow the event stream of a (running) campaign: pass the "
+             "manifest path given to 'campaign run --live' (or its "
+             ".events.jsonl sidecar directly)",
+    )
+    otail.add_argument("manifest",
+                       help="campaign manifest path or events JSONL file")
+    otail.add_argument("--no-follow", action="store_true",
+                       help="print what's there and exit instead of "
+                            "waiting for more events")
+    otail.add_argument("--raw", action="store_true",
+                       help="print one line per event instead of the "
+                            "progress view")
+    otail.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="stop following after S seconds even if the "
+                            "campaign hasn't finished")
+
+    obench = osub.add_parser(
+        "bench-report",
+        help="summarize the perf ledger; --check fails on regression "
+             "against the same-machine trajectory median",
+    )
+    obench.add_argument("--ledger", default=None, metavar="PATH",
+                        help="ledger file (default: $REPRO_BENCH_LEDGER "
+                             "or BENCH_obs.json)")
+    obench.add_argument("--check", action="store_true",
+                        help="exit non-zero when any series' newest point "
+                             "regressed more than --max-regression")
+    obench.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="F",
+                        help="allowed fractional regression vs the "
+                             "same-machine median (default 0.25)")
+
+    orecord = osub.add_parser(
+        "bench-record", help="append one measurement to the perf ledger"
+    )
+    orecord.add_argument("--ledger", default=None, metavar="PATH",
+                         help="ledger file (default: $REPRO_BENCH_LEDGER "
+                              "or BENCH_obs.json)")
+    orecord.add_argument("--bench", required=True,
+                         help="benchmark name (e.g. bench_batched)")
+    orecord.add_argument("--metric", required=True,
+                         help="metric name (e.g. batched_solve_s)")
+    orecord.add_argument("--value", type=float, required=True,
+                         help="measured value")
     return parser
 
 
@@ -458,29 +530,59 @@ def _campaign_run(args) -> int:
         spec.name, len(spec), args.jobs,
         "off" if cache is None else cache_root,
     )
-    if args.triage:
-        from .campaign import TriageSettings, run_campaign_triaged
+    stream = None
+    renderer = None
+    live = getattr(args, "live", False)
+    if live and args.triage:
+        print("note: --live is not wired through triage yet; "
+              "running without streaming", file=sys.stderr)
+        live = False
+    if live:
+        stream = obs.EventStream(heartbeat_s=args.heartbeat)
+        renderer = obs.LiveRenderer(obs.CampaignProgress(total=len(spec)))
+        stream.subscribe(renderer.on_event)
+        if not stream.cross_process and args.jobs > 1:
+            print("note: cross-process event transport unavailable; "
+                  "live heartbeats cover in-process jobs only",
+                  file=sys.stderr)
+    sampler = None
+    sample_path = getattr(args, "sample", None)
+    if sample_path:
+        sampler = obs.ResourceSampler(interval_s=args.sample_interval)
+        sampler.start()
+    try:
+        if args.triage:
+            from .campaign import TriageSettings, run_campaign_triaged
 
-        settings = TriageSettings(
-            threshold=args.triage_threshold, band=args.triage_band,
-            metric=args.triage_metric, nx=args.triage_nx,
-        )
-        triaged = run_campaign_triaged(
-            spec, settings, jobs=args.jobs, cache=cache,
-            manifest_path=manifest, timeout=args.timeout,
-            retries=args.retries, force=args.force,
-            batch=not args.no_batch,
-        )
-        print(triaged.summary_line())
-        run = triaged.run
-        ok = triaged.ok
-    else:
-        run = run_campaign(
-            spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
-            timeout=args.timeout, retries=args.retries, force=args.force,
-            batch=not args.no_batch,
-        )
-        ok = run.ok
+            settings = TriageSettings(
+                threshold=args.triage_threshold, band=args.triage_band,
+                metric=args.triage_metric, nx=args.triage_nx,
+            )
+            triaged = run_campaign_triaged(
+                spec, settings, jobs=args.jobs, cache=cache,
+                manifest_path=manifest, timeout=args.timeout,
+                retries=args.retries, force=args.force,
+                batch=not args.no_batch,
+            )
+            print(triaged.summary_line())
+            run = triaged.run
+            ok = triaged.ok
+        else:
+            run = run_campaign(
+                spec, jobs=args.jobs, cache=cache, manifest_path=manifest,
+                timeout=args.timeout, retries=args.retries, force=args.force,
+                batch=not args.no_batch, stream=stream,
+            )
+            ok = run.ok
+    finally:
+        if stream is not None:
+            stream.stop()
+        if renderer is not None:
+            renderer.close()
+        if sampler is not None:
+            sampler.stop()
+            n_rows = sampler.write_jsonl(sample_path)
+            print(f"samples: {sample_path} ({n_rows} rows)", file=sys.stderr)
     if run is not None:
         summary = run.summary
         print(f"{summary.n_ok}/{summary.n_jobs} jobs ok, "
@@ -675,6 +777,106 @@ def cmd_trace(args) -> int:
     return handlers[args.trace_command](args)
 
 
+def _events_sidecar_path(path: str) -> str:
+    """Resolve a tail target: a manifest path or its events sidecar."""
+    if path.endswith(".events.jsonl"):
+        return path
+    return path + ".events.jsonl"
+
+
+def _obs_tail(args) -> int:
+    import json as _json
+    import os as _os
+    import time as _time
+
+    path = _events_sidecar_path(args.manifest)
+    progress = obs.CampaignProgress()
+    deadline = (_time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    # Wait briefly for the sidecar to appear when following a campaign
+    # that is still starting up.
+    while not _os.path.exists(path):
+        if args.no_follow or (deadline is not None
+                              and _time.monotonic() >= deadline):
+            print(f"error: no event stream at {path} (run the campaign "
+                  f"with --live)", file=sys.stderr)
+            return 1
+        _time.sleep(0.2)
+
+    def show(event: dict) -> None:
+        progress.observe(event)
+        if args.raw:
+            print(_json.dumps(event, sort_keys=True))
+
+    handle = open(path, "r", encoding="utf-8")
+    try:
+        while True:
+            line = handle.readline()
+            if line:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = _json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict) and "type" in event:
+                    show(event)
+                continue
+            if progress.finished or args.no_follow:
+                break
+            if deadline is not None and _time.monotonic() >= deadline:
+                break
+            _time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.close()
+    if not args.raw:
+        print(progress.render_table())
+    return 0
+
+
+def _ledger_path(args) -> str:
+    import os as _os
+
+    return (args.ledger or _os.environ.get("REPRO_BENCH_LEDGER")
+            or obs.DEFAULT_LEDGER)
+
+
+def _obs_bench_report(args) -> int:
+    ledger = obs.Ledger(_ledger_path(args))
+    print(ledger.report())
+    if not args.check:
+        return 0
+    findings = ledger.check(max_regression=args.max_regression)
+    for finding in findings:
+        print(f"REGRESSION: {finding.describe()}", file=sys.stderr)
+    if findings:
+        return 1
+    print(f"check: no series regressed more than "
+          f"{args.max_regression:.0%} vs its same-machine median")
+    return 0
+
+
+def _obs_bench_record(args) -> int:
+    ledger = obs.Ledger(_ledger_path(args))
+    record = ledger.append(args.bench, args.metric, args.value)
+    print(f"recorded {record['bench']}/{record['metric']} = "
+          f"{record['value']:g} (machine {record['machine']}, "
+          f"sha {record['git_sha']}) -> {ledger.path}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    handlers = {
+        "tail": _obs_tail,
+        "bench-report": _obs_bench_report,
+        "bench-record": _obs_bench_record,
+    }
+    return handlers[args.obs_command](args)
+
+
 _COMMANDS = {
     "steady": cmd_steady,
     "transient": cmd_transient,
@@ -684,6 +886,7 @@ _COMMANDS = {
     "campaign": cmd_campaign,
     "analyze": cmd_analyze,
     "trace": cmd_trace,
+    "obs": cmd_obs,
 }
 
 

@@ -31,6 +31,17 @@ Typical use::
     obs.write_chrome_trace(obs.tracer().drain(), "fig11-trace.json")
 """
 
+from .events import (
+    EVENT_TYPES,
+    Event,
+    EventBuffer,
+    EventPublisher,
+    EventStream,
+    StreamConfig,
+    job_telemetry,
+    make_event,
+    read_events_jsonl,
+)
 from .export import (
     chrome_summary_table,
     chrome_trace,
@@ -41,7 +52,18 @@ from .export import (
     write_chrome_trace,
     write_spans_jsonl,
 )
+from .ledger import (
+    DEFAULT_LEDGER,
+    DEFAULT_MAX_REGRESSION,
+    Ledger,
+    Regression,
+    current_git_sha,
+    lower_is_better,
+    machine_fingerprint,
+)
 from .logsetup import logging_setup, verbosity_level
+from .progress import CampaignProgress, JobProgress, LiveRenderer
+from .sampler import ResourceSampler, read_proc_self, read_samples_jsonl
 from .taxonomy import METRIC_NAMES, METRIC_PREFIXES, SPAN_NAMES, known_metric, known_span
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -51,6 +73,7 @@ from .metrics import (
     MetricsRegistry,
     Snapshot,
     flatten_snapshot,
+    scale_snapshot,
     snapshot_diff,
 )
 from .tracing import NULL_SPAN, AnySpan, NullSpan, Span, Tracer
@@ -98,29 +121,52 @@ def disable_tracing() -> Tracer:
 
 __all__ = [
     "AnySpan",
+    "CampaignProgress",
     "Counter",
+    "DEFAULT_LEDGER",
+    "DEFAULT_MAX_REGRESSION",
     "DEFAULT_TIME_BUCKETS",
+    "EVENT_TYPES",
+    "Event",
+    "EventBuffer",
+    "EventPublisher",
+    "EventStream",
     "Gauge",
     "Histogram",
+    "JobProgress",
+    "Ledger",
+    "LiveRenderer",
     "METRIC_NAMES",
     "METRIC_PREFIXES",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "Regression",
+    "ResourceSampler",
     "SPAN_NAMES",
     "Snapshot",
     "Span",
+    "StreamConfig",
     "Tracer",
     "chrome_summary_table",
     "chrome_trace",
+    "current_git_sha",
     "disable_tracing",
     "enable_tracing",
     "flatten_snapshot",
+    "job_telemetry",
     "known_metric",
     "known_span",
     "logging_setup",
+    "lower_is_better",
+    "machine_fingerprint",
+    "make_event",
     "metrics",
+    "read_events_jsonl",
+    "read_proc_self",
+    "read_samples_jsonl",
     "read_trace_file",
+    "scale_snapshot",
     "snapshot_diff",
     "span",
     "span_summary",

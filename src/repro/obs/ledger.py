@@ -1,0 +1,232 @@
+"""Persistent perf-regression ledger: BENCH numbers as a trajectory.
+
+Benchmark results used to live in transient CI artifacts — each run
+asserted against a hard-coded bound and the history evaporated.  The
+ledger turns that into a *measured trajectory*: every bench run appends
+``{bench, metric, value, machine, git_sha, timestamp}`` records to a
+committed JSON file (``BENCH_obs.json``), and
+``repro obs bench-report --check`` compares the newest point for each
+(bench, metric) series against the **median of prior points from the
+same machine fingerprint** — cross-machine noise can't fail the gate,
+a genuine slowdown on the same hardware can.
+
+Regression direction is inferred from the metric name suffix
+(:func:`lower_is_better`): latency-like metrics (``*_s``,
+``*_seconds``, ``*_bytes``) regress upward, rate-like metrics
+(``*_per_sec``, ``*speedup``, ``*throughput``) regress downward.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Ledger schema version for forward compatibility.
+LEDGER_SCHEMA = 1
+
+#: Default committed ledger file at the repo root.
+DEFAULT_LEDGER = "BENCH_obs.json"
+
+#: Fail --check when the newest point is worse than the same-machine
+#: trajectory median by more than this fraction.
+DEFAULT_MAX_REGRESSION = 0.25
+
+_LOWER_SUFFIXES = ("_s", "_seconds", "_sec", "_ms", "_bytes", "_mib")
+_HIGHER_SUFFIXES = ("_per_sec", "_per_s", "speedup", "throughput", "_rate")
+
+Record = Dict[str, Any]
+
+
+def machine_fingerprint() -> str:
+    """A short stable id for *this* hardware/runtime combination.
+
+    Hashes machine architecture, processor string, CPU count, and the
+    Python major.minor — enough to keep a laptop and a CI runner in
+    separate trajectories without leaking hostnames into the repo.
+    """
+    basis = "|".join([
+        platform.machine(),
+        platform.processor(),
+        str(os.cpu_count() or 0),
+        "py%d.%d" % (sys.version_info[0], sys.version_info[1]),
+    ])
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]
+
+
+def current_git_sha(cwd: Optional[str] = None) -> str:
+    """The current commit sha, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def lower_is_better(metric: str) -> bool:
+    """Whether ``metric`` regresses by going *up* (latency-like)."""
+    name = metric.lower()
+    if name.endswith(_HIGHER_SUFFIXES):
+        return False
+    if name.endswith(_LOWER_SUFFIXES):
+        return True
+    return True  # durations dominate the bench suite; default pessimistic
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class Regression:
+    """One --check finding: a series whose newest point regressed."""
+
+    __slots__ = ("bench", "metric", "value", "baseline", "ratio", "machine")
+
+    def __init__(self, bench: str, metric: str, value: float,
+                 baseline: float, ratio: float, machine: str) -> None:
+        self.bench = bench
+        self.metric = metric
+        self.value = value
+        self.baseline = baseline
+        self.ratio = ratio
+        self.machine = machine
+
+    def describe(self) -> str:
+        direction = "slower" if lower_is_better(self.metric) else "lower"
+        return (
+            f"{self.bench}/{self.metric}: {self.value:.6g} vs same-machine "
+            f"median {self.baseline:.6g} ({self.ratio:.0%} {direction})"
+        )
+
+
+class Ledger:
+    """The append-only bench record file and its trajectory queries."""
+
+    def __init__(self, path: str = DEFAULT_LEDGER) -> None:
+        self.path = path
+
+    # -- persistence --------------------------------------------------------
+
+    def load(self) -> List[Record]:
+        """All records, oldest first (missing/corrupt file = empty)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return []
+        records = data.get("records") if isinstance(data, dict) else None
+        if not isinstance(records, list):
+            return []
+        clean = [r for r in records if isinstance(r, dict)
+                 and "bench" in r and "metric" in r and "value" in r]
+        clean.sort(key=lambda r: float(r.get("timestamp", 0.0)))
+        return clean
+
+    def append(
+        self,
+        bench: str,
+        metric: str,
+        value: float,
+        machine: Optional[str] = None,
+        git_sha: Optional[str] = None,
+        timestamp: Optional[float] = None,
+        **extra: Any,
+    ) -> Record:
+        """Append one record (atomic read-modify-write); returns it."""
+        record: Record = {
+            "bench": bench,
+            "metric": metric,
+            "value": float(value),
+            "machine": machine if machine is not None else machine_fingerprint(),
+            "git_sha": git_sha if git_sha is not None else current_git_sha(
+                os.path.dirname(os.path.abspath(self.path)) or None
+            ),
+            "timestamp": float(timestamp) if timestamp is not None else time.time(),
+        }
+        record.update(extra)
+        records = self.load()
+        records.append(record)
+        payload = {"schema": LEDGER_SCHEMA, "records": records}
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+        return record
+
+    # -- trajectory queries -------------------------------------------------
+
+    def series(self) -> Dict[Tuple[str, str], List[Record]]:
+        """Records grouped by (bench, metric), oldest first."""
+        grouped: Dict[Tuple[str, str], List[Record]] = {}
+        for record in self.load():
+            key = (str(record["bench"]), str(record["metric"]))
+            grouped.setdefault(key, []).append(record)
+        return grouped
+
+    def check(
+        self, max_regression: float = DEFAULT_MAX_REGRESSION
+    ) -> List[Regression]:
+        """Regressions of each series' newest point vs its trajectory.
+
+        For every (bench, metric) series the newest record is compared
+        against the median of *prior* records sharing its machine
+        fingerprint.  Series with no same-machine history pass — a new
+        CI runner seeds its own trajectory instead of failing against
+        someone else's hardware.
+        """
+        findings: List[Regression] = []
+        for (bench, metric), records in sorted(self.series().items()):
+            newest = records[-1]
+            machine = str(newest.get("machine", ""))
+            prior = [float(r["value"]) for r in records[:-1]
+                     if str(r.get("machine", "")) == machine]
+            if not prior:
+                continue
+            baseline = _median(prior)
+            value = float(newest["value"])
+            if baseline <= 0:
+                continue
+            if lower_is_better(metric):
+                ratio = value / baseline - 1.0
+            else:
+                ratio = baseline / value - 1.0 if value > 0 else float("inf")
+            if ratio > max_regression:
+                findings.append(Regression(
+                    bench, metric, value, baseline, ratio, machine
+                ))
+        return findings
+
+    def report(self) -> str:
+        """Human-readable trajectory table, one line per series."""
+        grouped = self.series()
+        if not grouped:
+            return f"ledger {self.path}: empty"
+        lines = [f"ledger {self.path}: {sum(len(v) for v in grouped.values())}"
+                 f" records, {len(grouped)} series"]
+        header = f"  {'bench':<28} {'metric':<26} {'n':>3} {'median':>12} {'newest':>12}"
+        lines.append(header)
+        for (bench, metric), records in sorted(grouped.items()):
+            values = [float(r["value"]) for r in records]
+            lines.append(
+                f"  {bench:<28} {metric:<26} {len(values):>3}"
+                f" {_median(values):>12.6g} {values[-1]:>12.6g}"
+            )
+        return "\n".join(lines)

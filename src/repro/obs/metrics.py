@@ -31,14 +31,19 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing event count."""
+    """A monotonically increasing event count.
+
+    ``lock`` lets a :class:`MetricsRegistry` share one registry-level
+    lock across all of its instruments so a snapshot can't observe a
+    torn mid-increment view; standalone instruments get a private one.
+    """
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, n: float = 1.0) -> None:
         """Add ``n`` (default 1) to the count."""
@@ -55,10 +60,10 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -81,7 +86,10 @@ class Histogram:
     __slots__ = ("name", "bounds", "_counts", "_sum", "_n", "_lock")
 
     def __init__(
-        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        lock: Optional[threading.Lock] = None,
     ) -> None:
         self.name = name
         self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
@@ -90,7 +98,7 @@ class Histogram:
         self._counts = [0] * (len(self.bounds) + 1)
         self._sum = 0.0
         self._n = 0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -150,12 +158,16 @@ class MetricsRegistry:
             return metric
 
     def counter(self, name: str) -> Counter:
-        metric = self._get_or_create(name, lambda: Counter(name), Counter)
+        metric = self._get_or_create(
+            name, lambda: Counter(name, lock=self._lock), Counter
+        )
         assert isinstance(metric, Counter)
         return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._get_or_create(name, lambda: Gauge(name), Gauge)
+        metric = self._get_or_create(
+            name, lambda: Gauge(name, lock=self._lock), Gauge
+        )
         assert isinstance(metric, Gauge)
         return metric
 
@@ -164,7 +176,8 @@ class MetricsRegistry:
     ) -> Histogram:
         metric = self._get_or_create(
             name,
-            lambda: Histogram(name, buckets or DEFAULT_TIME_BUCKETS),
+            lambda: Histogram(name, buckets or DEFAULT_TIME_BUCKETS,
+                              lock=self._lock),
             Histogram,
         )
         assert isinstance(metric, Histogram)
@@ -177,24 +190,29 @@ class MetricsRegistry:
     # -- value transport ----------------------------------------------------
 
     def snapshot(self) -> Snapshot:
-        """Plain-data copy of every metric's current value."""
+        """Plain-data copy of every metric's current value.
+
+        Internally consistent: all reads happen under the single
+        registry-level lock every registry-owned instrument shares, so
+        a snapshot taken mid-increment can never observe instrument A
+        after an event and instrument B before it.
+        """
         counters: Dict[str, float] = {}
         gauges: Dict[str, float] = {}
         histograms: Dict[str, Dict[str, Any]] = {}
         with self._lock:
-            items = list(self._metrics.items())
-        for name, metric in items:
-            if isinstance(metric, Counter):
-                counters[name] = metric.value
-            elif isinstance(metric, Gauge):
-                gauges[name] = metric.value
-            else:
-                histograms[name] = {
-                    "bounds": list(metric.bounds),
-                    "counts": metric.bucket_counts,
-                    "sum": metric.sum,
-                    "count": metric.count,
-                }
+            for name, metric in self._metrics.items():
+                if isinstance(metric, Counter):
+                    counters[name] = metric._value
+                elif isinstance(metric, Gauge):
+                    gauges[name] = metric._value
+                else:
+                    histograms[name] = {
+                        "bounds": list(metric.bounds),
+                        "counts": list(metric._counts),
+                        "sum": metric._sum,
+                        "count": metric._n,
+                    }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def merge(self, snapshot: Snapshot) -> None:
@@ -259,6 +277,32 @@ def snapshot_diff(after: Snapshot, before: Snapshot) -> Snapshot:
                 "sum": delta_sum,
                 "count": delta_n,
             }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def scale_snapshot(snapshot: Snapshot, factor: float) -> Snapshot:
+    """A copy of ``snapshot`` with counters/histograms scaled by ``factor``.
+
+    Used to apportion a lockstep batch's metric delta evenly across its
+    K member jobs (``factor = 1/K``): counter values, histogram bucket
+    counts, sums, and counts all scale; gauges are instantaneous and
+    pass through unscaled.  Scaled bucket counts may be fractional —
+    apportioned snapshots are for *reporting* (flattened into manifest
+    records), never merged back into a live registry.
+    """
+    counters = {
+        name: value * factor
+        for name, value in snapshot.get("counters", {}).items()
+    }
+    gauges = dict(snapshot.get("gauges", {}))
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for name, data in snapshot.get("histograms", {}).items():
+        histograms[name] = {
+            "bounds": list(data.get("bounds", [])),
+            "counts": [float(c) * factor for c in data.get("counts", [])],
+            "sum": float(data.get("sum", 0.0)) * factor,
+            "count": float(data.get("count", 0)) * factor,
+        }
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 

@@ -1,0 +1,231 @@
+"""Wall-clock time-series sampling of metrics and process resources.
+
+Spans answer *where did the time go* and counters *how often did it
+happen*; neither answers *what did it look like over time* — was RSS
+climbing through the campaign, did CPU stall while the pool waited,
+when exactly did the solve counters plateau?  :class:`ResourceSampler`
+answers that with a daemon thread that, every ``interval_s``, records
+one row containing:
+
+* the flattened :class:`~repro.obs.metrics.MetricsRegistry` snapshot,
+* process RSS and cumulative CPU seconds (``/proc/self`` on Linux,
+  ``os.times()``/``resource`` elsewhere),
+* per-generation GC collection counts.
+
+Rows go into a fixed-capacity ring (oldest evicted, writer never
+blocked, same retention contract as the event buffer) and export two
+ways: JSONL (one row per line, the CI artifact format) and Chrome
+trace *counter* events (``ph: "C"``) that render as stacked counter
+tracks alongside the span track in Perfetto.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry, flatten_snapshot
+
+SampleRow = Dict[str, Any]
+
+#: Resource keys every sample row carries (beyond ``metrics``).
+RESOURCE_KEYS = ("t_wall", "rss_bytes", "cpu_s", "gc_gen0", "gc_gen1", "gc_gen2")
+
+
+def _page_size() -> int:
+    try:
+        return os.sysconf("SC_PAGE_SIZE")
+    except (ValueError, OSError, AttributeError):
+        return 4096
+
+
+def read_proc_self() -> Dict[str, float]:
+    """RSS bytes and cumulative CPU seconds for this process.
+
+    Prefers ``/proc/self`` (statm for RSS, stat fields 14/15 for
+    utime+stime in clock ticks); falls back to ``resource`` /
+    ``os.times()`` where procfs is absent so sampling degrades rather
+    than disappears off-Linux.
+    """
+    rss = 0.0
+    cpu = 0.0
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            rss = float(handle.read().split()[1]) * _page_size()
+        with open("/proc/self/stat", "r", encoding="ascii") as handle:
+            # comm may contain spaces; everything after the closing paren
+            # is the fixed-position numeric tail.
+            tail = handle.read().rsplit(")", 1)[1].split()
+            ticks = float(os.sysconf("SC_CLK_TCK"))
+            cpu = (float(tail[11]) + float(tail[12])) / ticks
+    except (OSError, IndexError, ValueError):
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            rss = float(usage.ru_maxrss) * 1024.0
+            cpu = float(usage.ru_utime) + float(usage.ru_stime)
+        except Exception:  # noqa: BLE001 - platform without resource module
+            times = os.times()
+            cpu = float(times.user) + float(times.system)
+    return {"rss_bytes": rss, "cpu_s": cpu}
+
+
+class ResourceSampler:
+    """Daemon-thread sampler of one registry plus process resources.
+
+    ``start()`` launches the thread (one immediate sample, then every
+    ``interval_s``); ``stop()`` takes a final sample and joins.  Also
+    usable synchronously via :meth:`sample_now` — the overhead test
+    measures exactly that path.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = 0.25,
+        capacity: int = 4096,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("sampler capacity must be >= 1")
+        self._registry = registry
+        self.interval_s = max(0.01, float(interval_s))
+        self.capacity = capacity
+        self.evicted = 0
+        self.count = 0
+        self._rows: List[SampleRow] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _resolve_registry(self) -> MetricsRegistry:
+        if self._registry is None:
+            import repro.obs as obs  # lazy: avoid a package import cycle
+
+            self._registry = obs.metrics()
+        return self._registry
+
+    def sample_now(self) -> SampleRow:
+        """Take one sample immediately and retain it; returns the row."""
+        row: SampleRow = {"t_wall": time.time()}
+        row.update(read_proc_self())
+        gen0, gen1, gen2 = gc.get_count()
+        row["gc_gen0"], row["gc_gen1"], row["gc_gen2"] = gen0, gen1, gen2
+        row["metrics"] = flatten_snapshot(self._resolve_registry().snapshot())
+        with self._lock:
+            self._rows.append(row)
+            self.count += 1
+            if len(self._rows) > self.capacity:
+                drop = len(self._rows) - self.capacity
+                del self._rows[:drop]
+                self.evicted += drop
+        return row
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        """Start the daemon sampling thread (idempotent); returns self."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Take a final sample, stop the thread, and join it."""
+        if self._thread is not None and self._thread.is_alive():
+            self._stop.set()
+            self._thread.join(timeout=timeout)
+        self._thread = None
+        self.sample_now()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        self.sample_now()
+        while not self._stop.wait(self.interval_s):
+            self.sample_now()
+
+    # -- reading and export -------------------------------------------------
+
+    def rows(self) -> List[SampleRow]:
+        """The retained sample rows, oldest first."""
+        with self._lock:
+            return list(self._rows)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write retained rows as JSONL; returns the row count written."""
+        rows = self.rows()
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return len(rows)
+
+    def chrome_counter_events(self, pid: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Chrome trace counter events (``ph: "C"``) for the sampled series.
+
+        One ``repro.resources`` counter track (RSS in MiB, CPU seconds)
+        plus one track per sampled metric; append these to
+        :func:`repro.obs.export.chrome_trace` output and Perfetto draws
+        them under the span track.
+        """
+        rows = self.rows()
+        if not rows:
+            return []
+        process = pid if pid is not None else os.getpid()
+        t0 = rows[0]["t_wall"]
+        events: List[Dict[str, Any]] = []
+        for row in rows:
+            ts = (row["t_wall"] - t0) * 1e6
+            events.append({
+                "name": "repro.resources",
+                "ph": "C",
+                "ts": ts,
+                "pid": process,
+                "tid": 0,
+                "args": {
+                    "rss_mib": row.get("rss_bytes", 0.0) / (1024.0 * 1024.0),
+                    "cpu_s": row.get("cpu_s", 0.0),
+                },
+            })
+            metrics_flat = row.get("metrics") or {}
+            for name in sorted(metrics_flat):
+                events.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": process,
+                    "tid": 0,
+                    "args": {"value": metrics_flat[name]},
+                })
+        return events
+
+
+def read_samples_jsonl(path: str) -> List[SampleRow]:
+    """All rows of a sampler JSONL file, skipping malformed lines."""
+    rows: List[SampleRow] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "t_wall" in record:
+                rows.append(record)
+    return rows

@@ -1,0 +1,16 @@
+"""R8 positive fixture: near-miss streaming/sampler taxonomy names."""
+
+
+def drain(obs, registry):
+    # BUG: registered name is 'campaign.stream.events'
+    registry.counter("campaign.stream.event").add(1)
+    # BUG: registered name is 'obs.events.dropped'
+    registry.counter("obs.events.drops").add(1)
+    registry.counter("obs.events.heartbeats").add(1)
+
+
+def sample(obs, registry):
+    # BUG: registered name is 'obs.sampler.samples'
+    registry.counter("obs.sampler.sampled").add(1)
+    # BUG: 'obs.events.' is not a registered dynamic prefix
+    registry.counter(f"obs.events.{sample.__name__}").add(1)

@@ -308,6 +308,27 @@ def test_r8_accepts_registered_analytic_and_triage_names():
     assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
 
 
+def test_r8_flags_misnamed_stream_and_sampler_instrumentation():
+    """Near-misses of the obs.events/obs.sampler names fail."""
+    source = SourceFile.from_path(
+        str(FIXTURES / "obs_proj" / "repro" / "instrumented_stream_bad.py")
+    )
+    findings = analyze_file(source, make_rules(["obs-taxonomy"]))
+    messages = " | ".join(f.message for f in findings)
+    assert "'campaign.stream.event'" in messages
+    assert "'obs.events.drops'" in messages
+    assert "'obs.sampler.sampled'" in messages
+    assert "dynamic metric name" in messages
+    assert len([f for f in findings if f.severity == "error"]) == 3
+
+
+def test_r8_accepts_registered_stream_and_sampler_names():
+    source = SourceFile.from_path(
+        str(FIXTURES / "obs_proj" / "repro" / "instrumented_stream_ok.py")
+    )
+    assert analyze_file(source, make_rules(["obs-taxonomy"])) == []
+
+
 def test_r8_ignores_code_outside_the_repro_package():
     code = 'def f(reg):\n    reg.counter("totally.unregistered").add(1)\n'
     source = SourceFile("snippet.py", code)
