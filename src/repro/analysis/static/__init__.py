@@ -1,7 +1,7 @@
 """Physics-aware static analysis for the reproduction codebase.
 
-An AST-based checker with eleven rules, each mapped to a real failure
-mode of this repository (see DESIGN.md, "Static analysis"):
+An AST-based checker with fourteen rules, each mapped to a real
+failure mode of this repository (see DESIGN.md, "Static analysis"):
 
 * ``unit-consistency`` (R1) — dimension mismatches and magic material
   constants, driven by the machine-readable tables in
@@ -31,9 +31,21 @@ mode of this repository (see DESIGN.md, "Static analysis"):
   cache) without an intervening ``.copy()``;
 * ``dtype-flow`` (R11) — complex leakage past an ``irfft2``/``.real``
   boundary, silent float32 downcasts into declared-float64 solver
-  state, true division over grid-dimension tokens.
+  state, true division over grid-dimension tokens;
+* ``lock-discipline`` (R12) — mutation of a lock-guarded attribute
+  (declared via ``units.guarded_by`` or inferred from consistent
+  locking) without its lock held, and inconsistent two-lock
+  acquisition order (deadlock potential);
+* ``fork-spawn-safety`` (R13) — pool-worker-reachable acquisition of
+  fork-inherited module-level locks, undeclared thread spawning in
+  workers, nested functions submitted to a pool (unpicklable under
+  spawn);
+* ``blocking-in-hot-path`` (R14) — sleep / flock / blocking queue
+  ``put`` reachable from a solver/rcmodel span, an ``async`` handler,
+  or a declared ``units.hot_path()`` root.
 
-R6/R7 and the array-contract rules R9–R11 are whole-program rules
+R6/R7, the array-contract rules R9–R11, and the concurrency rules
+R12–R14 are whole-program rules
 (:class:`ProjectRule`): the runner
 compiles every file to a cacheable module summary, links a project
 symbol table and call graph, propagates dimension signatures to a

@@ -24,7 +24,7 @@ import tempfile
 from typing import Dict, Optional
 
 #: Bump to invalidate every cached outcome (e.g. when a rule changes).
-ANALYSIS_CACHE_VERSION = 2
+ANALYSIS_CACHE_VERSION = 3
 
 _ENV_CACHE_DIR = "REPRO_ANALYZE_CACHE_DIR"
 

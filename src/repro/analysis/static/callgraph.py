@@ -44,7 +44,21 @@ MUTATING_METHODS = frozenset(
      "pop", "popitem", "remove", "discard", "clear"}
 )
 
-_SUMMARY_VERSION = 2
+_SUMMARY_VERSION = 3
+
+#: Callables whose construction at module level creates a lock-like
+#: synchronization primitive (the R13 fork-inherited-lock check).
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Fallback blocking-call table when the units module is unavailable;
+#: normally :func:`repro.units.signature_tables` supplies this.
+_DEFAULT_BLOCKING_CALLS = {
+    "sleep": "blocks-on-io",
+    "flock": "blocks-on-io",
+    "put": "blocks-on-io",
+}
 
 
 @dataclass
@@ -59,11 +73,14 @@ class CallSite:
     #: array descriptors of the same arguments (the v3 pass)
     arr_args: List[ADesc] = field(default_factory=list)
     arr_kwargs: Dict[str, ADesc] = field(default_factory=dict)
+    #: lock names held at the call site (the v4 effect pass)
+    locks: List[str] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
         return {"line": self.line, "col": self.col, "callee": self.callee,
                 "args": self.args, "kwargs": self.kwargs,
-                "arr_args": self.arr_args, "arr_kwargs": self.arr_kwargs}
+                "arr_args": self.arr_args, "arr_kwargs": self.arr_kwargs,
+                "locks": self.locks}
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "CallSite":
@@ -74,6 +91,7 @@ class CallSite:
             kwargs=dict(data.get("kwargs", {})),  # type: ignore[arg-type]
             arr_args=list(data.get("arr_args", [])),  # type: ignore[arg-type]
             arr_kwargs=dict(data.get("arr_kwargs", {})),  # type: ignore[arg-type]
+            locks=list(data.get("locks", [])),  # type: ignore[arg-type]
         )
 
 
@@ -126,6 +144,84 @@ class Mutation:
 
 
 @dataclass
+class LockSite:
+    """One lock acquisition (``with <lock-ish>:``) inside a function.
+
+    A ``with`` item counts as a lock acquisition when the last
+    component of its context expression's dotted name contains
+    ``lock`` — ``self._lock``, ``self._counters_lock()``, a bare
+    ``lock``.  Lock identity is that last component: the analyzer
+    unifies lock names project-wide the way it unifies
+    :data:`repro.units.PARAMETER_DIMENSIONS` names.
+    """
+
+    line: int
+    col: int
+    name: str                        # lock identity ("_lock")
+    base: str                        # dotted expr as written ("self._lock")
+    held: List[str] = field(default_factory=list)  # locks already held
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "name": self.name,
+                "base": self.base, "held": self.held}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "LockSite":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   name=str(data["name"]), base=str(data["base"]),
+                   held=list(data.get("held", [])))  # type: ignore[arg-type]
+
+
+@dataclass
+class AttrUse:
+    """One mutation of an attribute (``x.a = ...``, ``x.a += ...``,
+    ``x.a[k] = ...``, ``x.a.append(...)``), with the locks held."""
+
+    line: int
+    col: int
+    attr: str                        # attribute name ("_subscribers")
+    base: str                        # receiver expr ("self", "ring")
+    kind: str                        # "assign"|"augassign"|"subscript"|"method"
+    locks: List[str] = field(default_factory=list)  # locks held at the site
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "attr": self.attr,
+                "base": self.base, "kind": self.kind, "locks": self.locks,
+                "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "AttrUse":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   attr=str(data["attr"]), base=str(data["base"]),
+                   kind=str(data["kind"]),
+                   locks=list(data.get("locks", [])),  # type: ignore[arg-type]
+                   detail=str(data.get("detail", "")))
+
+
+@dataclass
+class EffectSite:
+    """One syntactic concurrency effect inside a function body:
+    a blocking call (sleep / flock / blocking queue put) or a
+    thread/Manager construction."""
+
+    line: int
+    col: int
+    kind: str                        # "blocks-on-io" | "spawns-thread"
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "kind": self.kind,
+                "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "EffectSite":
+        return cls(line=int(data["line"]), col=int(data["col"]),
+                   kind=str(data["kind"]),
+                   detail=str(data.get("detail", "")))
+
+
+@dataclass
 class FunctionSummary:
     """Everything the whole-program pass needs about one function."""
 
@@ -148,6 +244,16 @@ class FunctionSummary:
     array_mutations: List[ArrayMutation] = field(default_factory=list)
     broadcasts: List[BroadcastSite] = field(default_factory=list)
     intdivs: List[IntDivSite] = field(default_factory=list)
+    #: lock acquisitions / attribute mutations / blocking+spawn effects
+    #: (the v4 concurrency pass)
+    acquires: List[LockSite] = field(default_factory=list)
+    attr_uses: List[AttrUse] = field(default_factory=list)
+    effects: List[EffectSite] = field(default_factory=list)
+    #: effect kinds acknowledged via ``units.effects(...)``/``hot_path()``
+    declared_effects: List[str] = field(default_factory=list)
+    #: constant names of ``.span(...)``/``.trace(...)`` sites opened here
+    span_names: List[str] = field(default_factory=list)
+    is_async: bool = False
     is_method: bool = False
     is_nested: bool = False
     runner_registered: bool = False
@@ -172,6 +278,12 @@ class FunctionSummary:
             "array_mutations": [m.to_json() for m in self.array_mutations],
             "broadcasts": [b.to_json() for b in self.broadcasts],
             "intdivs": [d.to_json() for d in self.intdivs],
+            "acquires": [s.to_json() for s in self.acquires],
+            "attr_uses": [u.to_json() for u in self.attr_uses],
+            "effects": [e.to_json() for e in self.effects],
+            "declared_effects": self.declared_effects,
+            "span_names": self.span_names,
+            "is_async": self.is_async,
             "is_method": self.is_method, "is_nested": self.is_nested,
             "runner_registered": self.runner_registered,
         }
@@ -203,6 +315,15 @@ class FunctionSummary:
                         for b in data.get("broadcasts", [])],  # type: ignore[union-attr]
             intdivs=[IntDivSite.from_json(d)  # type: ignore[arg-type]
                      for d in data.get("intdivs", [])],  # type: ignore[union-attr]
+            acquires=[LockSite.from_json(s)  # type: ignore[arg-type]
+                      for s in data.get("acquires", [])],  # type: ignore[union-attr]
+            attr_uses=[AttrUse.from_json(u)  # type: ignore[arg-type]
+                       for u in data.get("attr_uses", [])],  # type: ignore[union-attr]
+            effects=[EffectSite.from_json(e)  # type: ignore[arg-type]
+                     for e in data.get("effects", [])],  # type: ignore[union-attr]
+            declared_effects=list(data.get("declared_effects", [])),  # type: ignore[arg-type]
+            span_names=list(data.get("span_names", [])),  # type: ignore[arg-type]
+            is_async=bool(data.get("is_async", False)),
             is_method=bool(data.get("is_method", False)),
             is_nested=bool(data.get("is_nested", False)),
             runner_registered=bool(data.get("runner_registered", False)),
@@ -220,6 +341,11 @@ class ModuleSummary:
     module_mutables: List[str] = field(default_factory=list)
     #: dotted names of callables handed to a pool submit/map call
     submit_targets: List[str] = field(default_factory=list)
+    #: module-level names bound to lock-like primitives (R13 raw material)
+    module_locks: List[str] = field(default_factory=list)
+    #: attr name -> lock names, from ``Annotated[..., guarded_by(...)]``
+    #: class-body declarations (explicit R12 contracts)
+    guarded_attrs: Dict[str, List[str]] = field(default_factory=dict)
     #: pragma line -> suppressed canonical rule names (None = all)
     pragmas: Dict[int, Optional[List[str]]] = field(default_factory=dict)
     #: stripped text of lines findings may anchor to (fingerprinting)
@@ -234,6 +360,8 @@ class ModuleSummary:
                           for name, fn in self.functions.items()},
             "module_mutables": self.module_mutables,
             "submit_targets": self.submit_targets,
+            "module_locks": self.module_locks,
+            "guarded_attrs": self.guarded_attrs,
             "pragmas": {str(line): rules
                         for line, rules in self.pragmas.items()},
             "anchor_lines": {str(line): text
@@ -252,6 +380,13 @@ class ModuleSummary:
             },
             module_mutables=list(data.get("module_mutables", [])),  # type: ignore[arg-type]
             submit_targets=list(data.get("submit_targets", [])),  # type: ignore[arg-type]
+            module_locks=list(data.get("module_locks", [])),  # type: ignore[arg-type]
+            guarded_attrs={
+                str(attr): [str(lock) for lock in locks]  # type: ignore[union-attr]
+                for attr, locks in dict(
+                    data.get("guarded_attrs", {})  # type: ignore[arg-type]
+                ).items()
+            },
             pragmas={
                 int(line): (None if rules is None else list(rules))
                 for line, rules in dict(data.get("pragmas", {})).items()  # type: ignore[arg-type]
@@ -413,6 +548,78 @@ def _module_mutables(tree: ast.Module) -> List[str]:
     return names
 
 
+def _module_locks(tree: ast.Module) -> List[str]:
+    """Module-level names bound to lock-like primitives (R13 input)."""
+    names: List[str] = []
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        last = (_dotted(value.func) or "").split(".")[-1]
+        if last not in _LOCK_FACTORIES:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id not in names:
+                names.append(target.id)
+    return names
+
+
+def _guarded_attrs(tree: ast.Module) -> Dict[str, List[str]]:
+    """Explicit guarded-attribute contracts from class-body
+    ``attr: Annotated[..., units.guarded_by("_lock")]`` declarations."""
+    guarded: Dict[str, List[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            for element in _annotated_metadata(stmt.annotation):
+                func = element.func
+                func_name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None
+                )
+                if func_name != "guarded_by":
+                    continue
+                locks = [
+                    arg.value for arg in element.args
+                    if isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                ]
+                if not locks:
+                    continue
+                merged = set(guarded.get(stmt.target.id, ())) | set(locks)
+                guarded[stmt.target.id] = sorted(merged)
+    return guarded
+
+
+def _effect_annotations(node) -> List[str]:
+    """Effect kinds declared on the return annotation via
+    ``units.effects(...)`` / ``units.hot_path()``."""
+    declared: List[str] = []
+    for element in _annotated_metadata(getattr(node, "returns", None)):
+        func = element.func
+        func_name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if func_name == "effects":
+            for arg in element.args:
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, str
+                ) and arg.value not in declared:
+                    declared.append(arg.value)
+        elif func_name == "hot_path" and "hot-path" not in declared:
+            declared.append("hot-path")
+    return declared
+
+
 def _imports(tree: ast.Module, module: Optional[str]) -> Dict[str, str]:
     table: Dict[str, str] = {}
     for node in ast.walk(tree):
@@ -440,11 +647,16 @@ class _FunctionExtractor:
 
     def __init__(self, info, symbols: Dict[str, str],
                  attributes: Dict[str, str],
-                 dim_params: Optional[List[str]] = None) -> None:
+                 dim_params: Optional[List[str]] = None,
+                 blocking_calls: Optional[Dict[str, str]] = None) -> None:
         self.node = info.node
         self.params = _param_names(self.node)
         self.inferer = SymbolicInferer(symbols, attributes, self.params)
         self.arr = ArrayInferer(self.params, dim_params or [])
+        self.blocking_calls = (
+            blocking_calls if blocking_calls is not None
+            else dict(_DEFAULT_BLOCKING_CALLS)
+        )
         self.calls: List[CallSite] = []
         self.returns: List[Desc] = []
         self.array_returns: List[ADesc] = []
@@ -452,6 +664,11 @@ class _FunctionExtractor:
         self.mutations: List[Mutation] = []
         self.array_mutations: List[ArrayMutation] = []
         self.broadcasts: List[BroadcastSite] = []
+        self.acquires: List[LockSite] = []
+        self.attr_uses: List[AttrUse] = []
+        self.effects: List[EffectSite] = []
+        self.span_names: List[str] = []
+        self._held: List[str] = []  # lock-acquisition stack during the walk
         self.global_names: Set[str] = set()
         self.nonlocal_names: Set[str] = set()
         self.local_names: Set[str] = set(self.params)
@@ -516,8 +733,17 @@ class _FunctionExtractor:
             elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
                 self.inferer.bind(stmt.target, stmt.value)
                 self.arr.bind(stmt.target, stmt.value)
-            for child_body in _nested_bodies(stmt):
-                self._walk_body(child_body)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                # thread the lock context through the body so every
+                # call / attribute-mutation site knows what is held
+                acquired = self._record_acquires(stmt)
+                self._held.extend(acquired)
+                self._walk_body(stmt.body)
+                if acquired:
+                    del self._held[-len(acquired):]
+            else:
+                for child_body in _nested_bodies(stmt):
+                    self._walk_body(child_body)
 
     def _visit_stmt(self, stmt: ast.stmt) -> None:
         for node in _shallow_walk(stmt):
@@ -534,6 +760,25 @@ class _FunctionExtractor:
                 self.arr.scan_index(node)
         self._record_mutations(stmt)
         self._record_array_writes(stmt)
+
+    def _record_acquires(self, stmt) -> List[str]:
+        """Lock names acquired by one ``with`` statement's items."""
+        acquired: List[str] = []
+        for item in stmt.items:
+            expr = item.context_expr
+            target = expr.func if isinstance(expr, ast.Call) else expr
+            dotted = _dotted(target)
+            if dotted is None:
+                continue
+            name = dotted.split(".")[-1]
+            if "lock" not in name.lower():
+                continue
+            self.acquires.append(
+                LockSite(line=expr.lineno, col=expr.col_offset,
+                         name=name, base=dotted, held=list(self._held))
+            )
+            acquired.append(name)
+        return acquired
 
     def _record_add(self, node: ast.BinOp) -> None:
         """Keep +/- sites R6 must re-check once signatures are known:
@@ -640,8 +885,10 @@ class _FunctionExtractor:
                         kw.arg: self.arr.infer(kw.value)
                         for kw in node.keywords if kw.arg is not None
                     },
+                    locks=list(self._held),
                 )
             )
+            self._record_effect(node, dotted)
         # ``out=`` kwargs write their destination in place
         for keyword in node.keywords:
             if keyword.arg == "out":
@@ -675,6 +922,45 @@ class _FunctionExtractor:
                 )
                 self.submit_target = target
 
+    def _record_effect(self, node: ast.Call, dotted: str) -> None:
+        """Classify one call as a blocking / thread-spawning effect."""
+        last = dotted.split(".")[-1]
+        if last in ("span", "trace") and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                self.span_names.append(first.value)
+            return
+        kind: Optional[str] = None
+        detail = f"{dotted}()"
+        blocking = self.blocking_calls.get(last)
+        if blocking is not None and last != "put":
+            kind = blocking
+        elif blocking is not None:  # .put: only queue-ish receivers block
+            receiver = ""
+            if "." in dotted:
+                receiver = dotted.rsplit(".", 2)[-2].lower()
+            nonblocking = any(
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            )
+            if not nonblocking and (
+                "queue" in receiver or "sink" in receiver or receiver == "q"
+            ):
+                kind = blocking
+                detail = f"{dotted}() may block on a full queue"
+        elif last.endswith("Thread") or last == "Timer":
+            kind = "spawns-thread"
+        elif last == "Manager":
+            kind = "spawns-thread"
+            detail = f"{dotted}() starts a manager process"
+        if kind is not None:
+            self.effects.append(
+                EffectSite(line=node.lineno, col=node.col_offset,
+                           kind=kind, detail=detail)
+            )
+
     def _record_mutations(self, stmt: ast.stmt) -> None:
         for node in _shallow_walk(stmt):
             if isinstance(node, ast.Assign):
@@ -687,10 +973,13 @@ class _FunctionExtractor:
                 if (
                     isinstance(func, ast.Attribute)
                     and func.attr in MUTATING_METHODS
-                    and isinstance(func.value, ast.Name)
                 ):
-                    self._add_mutation(func.value, func.value.id,
-                                       "method", func.attr)
+                    if isinstance(func.value, ast.Name):
+                        self._add_mutation(func.value, func.value.id,
+                                           "method", func.attr)
+                    elif isinstance(func.value, ast.Attribute):
+                        self._attr_use(func.value, "method",
+                                       f".{func.attr}()")
 
     def _mutation_target(self, target: ast.expr, how: str) -> None:
         if isinstance(target, ast.Name):
@@ -698,13 +987,33 @@ class _FunctionExtractor:
                 self._add_mutation(target, target.id, "global", how)
             elif target.id in self.nonlocal_names:
                 self._add_mutation(target, target.id, "nonlocal", how)
+        elif isinstance(target, ast.Attribute):
+            self._attr_use(target, how)
         elif isinstance(target, ast.Subscript) and isinstance(
             target.value, ast.Name
         ):
             self._add_mutation(target, target.value.id, "subscript", how)
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            self._attr_use(target.value, "subscript", "[...]")
         elif isinstance(target, ast.Tuple):
             for element in target.elts:
                 self._mutation_target(element, how)
+
+    def _attr_use(self, node: ast.Attribute, kind: str,
+                  detail: str = "") -> None:
+        """Record a mutation of ``<base>.<attr>`` with the held locks."""
+        base = _dotted(node.value)
+        if base is None:
+            return
+        if "lock" in node.attr.lower():
+            return  # the lock object itself is not guarded state
+        self.attr_uses.append(
+            AttrUse(line=node.lineno, col=node.col_offset,
+                    attr=node.attr, base=base, kind=kind,
+                    locks=list(self._held), detail=detail)
+        )
 
     def _add_mutation(self, node: ast.AST, name: str, kind: str,
                       detail: str) -> None:
@@ -793,6 +1102,8 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
         module=module,
         imports=_imports(source.tree, module),
         module_mutables=_module_mutables(source.tree),
+        module_locks=_module_locks(source.tree),
+        guarded_attrs=_guarded_attrs(source.tree),
         pragmas={
             line: (None if rules is None else sorted(rules))
             for line, rules in source.pragma_map().items()
@@ -800,9 +1111,14 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
     )
     anchor_lines: Set[int] = set(summary.pragmas)
     dim_params = [str(d) for d in tables.get("dimension_parameters", [])]
+    concurrency = tables.get("concurrency", {})
+    blocking_calls = dict(
+        concurrency.get("blocking_calls", _DEFAULT_BLOCKING_CALLS)
+    )
     for info in iter_functions(source.tree):
         extractor = _FunctionExtractor(
-            info, symbols, attributes, dim_params=dim_params
+            info, symbols, attributes, dim_params=dim_params,
+            blocking_calls=blocking_calls,
         )
         extractor.run()
         registered = any(
@@ -810,6 +1126,17 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
             and (_dotted(dec.func) or "").split(".")[-1] == "runner"
             for dec in info.node.decorator_list
         )
+        span_names = list(extractor.span_names)
+        for dec in info.node.decorator_list:
+            # @tracer.trace("name") decorators mark hot spans too
+            if (
+                isinstance(dec, ast.Call)
+                and (_dotted(dec.func) or "").split(".")[-1] == "trace"
+                and dec.args
+                and isinstance(dec.args[0], ast.Constant)
+                and isinstance(dec.args[0].value, str)
+            ):
+                span_names.append(dec.args[0].value)
         function = FunctionSummary(
             qualname=info.qualname,
             line=info.node.lineno,
@@ -828,6 +1155,12 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
             array_mutations=extractor.array_mutations,
             broadcasts=extractor.broadcasts,
             intdivs=list(extractor.arr.intdivs),
+            acquires=extractor.acquires,
+            attr_uses=extractor.attr_uses,
+            effects=extractor.effects,
+            declared_effects=_effect_annotations(info.node),
+            span_names=span_names,
+            is_async=isinstance(info.node, ast.AsyncFunctionDef),
         )
         summary.functions[info.qualname] = function
         anchor_lines.add(function.line)
@@ -837,6 +1170,9 @@ def extract_summary(source: SourceFile) -> ModuleSummary:
         anchor_lines.update(m.line for m in function.array_mutations)
         anchor_lines.update(b.line for b in function.broadcasts)
         anchor_lines.update(d.line for d in function.intdivs)
+        anchor_lines.update(s.line for s in function.acquires)
+        anchor_lines.update(u.line for u in function.attr_uses)
+        anchor_lines.update(e.line for e in function.effects)
         submit = getattr(extractor, "submit_target", None)
         if submit is not None and submit not in summary.submit_targets:
             summary.submit_targets.append(submit)

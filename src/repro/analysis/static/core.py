@@ -43,6 +43,9 @@ RULE_ALIASES: Dict[str, str] = {
     "R9": "shape-flow",
     "R10": "cache-alias-mutation",
     "R11": "dtype-flow",
+    "R12": "lock-discipline",
+    "R13": "fork-spawn-safety",
+    "R14": "blocking-in-hot-path",
 }
 
 
@@ -322,6 +325,7 @@ def _load_rule_modules() -> None:
     from . import (  # noqa: F401  (imported for registration side effect)
         rules_arrays,
         rules_cache,
+        rules_concurrency,
         rules_determinism,
         rules_float,
         rules_interp,

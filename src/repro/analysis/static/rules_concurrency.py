@@ -1,0 +1,471 @@
+"""Rules: concurrency safety (R12 lock-discipline, R13
+fork-spawn-safety, R14 blocking-in-hot-path).
+
+PR 8 made the runtime genuinely concurrent — heartbeat daemon threads,
+Manager queues crossing fork *and* spawn pools, an flock-guarded
+counter file, a registry-wide metrics lock — and the planned campaign
+daemon multiplies that surface.  These three whole-program rules ride
+the v4 effect-and-lock extraction in :mod:`.callgraph` (per-function
+:class:`~.callgraph.LockSite` / :class:`~.callgraph.AttrUse` /
+:class:`~.callgraph.EffectSite` records plus the lock context threaded
+through every call site).
+
+Shared machinery, computed once per analysis and memoized on the
+:class:`~.interp.ProjectContext`:
+
+* **guarded-attribute map** — attr name -> protecting lock name(s).
+  Sources: explicit class-body ``Annotated[..., units.guarded_by(...)]``
+  declarations, unioned with *inference*: an attribute mutated under the
+  same lock in two or more distinct functions project-wide is taken to
+  be guarded by that lock.  Names are rigid symbols project-wide, the
+  same convention :data:`repro.units.PARAMETER_DIMENSIONS` uses for
+  dimensions — so only distinctively-named attributes should carry
+  explicit contracts.
+* **held-lock contexts** — an interprocedural fixpoint assigning each
+  *private* function the set of locks every known caller provably
+  holds at the call site (``CampaignProgress._job`` mutates state on
+  behalf of callers that already hold ``_lock``; flagging it would be a
+  false positive).
+* **acquisition-order graph** — edge A->B when B is acquired while A is
+  held (lexically or via the held context); an A->B plus B->A pair is a
+  deadlock-potential warning.
+
+R12 deliberately checks **mutations only**: the codebase uses
+intentional lock-free fast reads (``Counter.value``, ``Tracer.enabled``)
+whose staleness is bounded and harmless, while a torn read-modify-write
+always shows up as an assign/augassign/method mutation site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import Finding, ProjectRule, register
+
+#: Functions whose unguarded attribute writes are structural, not racy:
+#: construction and context-manager lifecycle run before the object is
+#: shared (or while the caller owns it exclusively).
+_EXEMPT_FUNCTIONS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__enter__", "__exit__",
+     "__del__"}
+)
+
+_MAX_PASSES = 10
+
+_FALLBACK_HOT_PREFIXES = ("solver.", "rcmodel.")
+
+
+def _hot_span_prefixes(project) -> Tuple[str, ...]:
+    concurrency = project.tables.get("concurrency", {})
+    prefixes = concurrency.get("hot_span_prefixes")
+    if prefixes:
+        return tuple(str(p) for p in prefixes)
+    return _FALLBACK_HOT_PREFIXES
+
+
+def _leaf(qualname: str) -> str:
+    return qualname.split(".")[-1]
+
+
+def _is_private_helper(qualname: str) -> bool:
+    leaf = _leaf(qualname)
+    return leaf.startswith("_") and not leaf.startswith("__")
+
+
+@dataclass
+class ConcurrencyInfo:
+    """The shared whole-program concurrency model (memoized)."""
+
+    #: attr name -> lock names that protect it
+    guards: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attrs whose contract is an explicit ``guarded_by`` annotation
+    explicit: Set[str] = field(default_factory=set)
+    #: fqn -> locks every known caller holds at every call site
+    held_context: Dict[str, Set[str]] = field(default_factory=dict)
+    #: ordered lock pairs (a, b): b acquired while a held, with one
+    #: witness site (path, line, col, fqn) per pair
+    order_edges: Dict[Tuple[str, str], Tuple[str, int, int, str]] = field(
+        default_factory=dict
+    )
+
+
+def concurrency_info(project) -> ConcurrencyInfo:
+    """Build (once) the guard map, held contexts, and order graph."""
+    cached = getattr(project, "_concurrency_info", None)
+    if isinstance(cached, ConcurrencyInfo):
+        return cached
+    info = ConcurrencyInfo()
+
+    # -- guarded-attribute map: explicit contracts first ---------------
+    for summary in project.summaries:
+        for attr, locks in summary.guarded_attrs.items():
+            info.guards.setdefault(attr, set()).update(locks)
+            info.explicit.add(attr)
+
+    # -- inference: same lock protecting the same attr in >= 2 funcs --
+    writers: Dict[Tuple[str, str], Set[str]] = {}
+    for summary in project.summaries:
+        if summary.module is None:
+            continue
+        for qualname, function in summary.functions.items():
+            if _leaf(qualname) in _EXEMPT_FUNCTIONS:
+                continue
+            fqn = f"{summary.module}.{qualname}"
+            for use in function.attr_uses:
+                for lock in use.locks:
+                    writers.setdefault((use.attr, lock), set()).add(fqn)
+    for (attr, lock), fqns in writers.items():
+        if attr in info.explicit:
+            continue
+        if len(fqns) >= 2:
+            info.guards.setdefault(attr, set()).add(lock)
+
+    # -- held-lock contexts (private helpers only) ---------------------
+    callers: Dict[str, List[Tuple[str, Set[str]]]] = {}
+    universe: Set[str] = set()
+    for summary in project.summaries:
+        if summary.module is None:
+            continue
+        for qualname, function in summary.functions.items():
+            caller = f"{summary.module}.{qualname}"
+            for site in function.acquires:
+                universe.add(site.name)
+            for call in function.calls:
+                target: Optional[str] = None
+                if call.callee.startswith("self.") and function.is_method:
+                    cls = qualname.rsplit(".", 1)[0] if "." in qualname else ""
+                    candidate = f"{summary.module}.{cls}.{call.callee[5:]}"
+                    if candidate in project.table.functions:
+                        target = candidate
+                if target is None:
+                    target = project.table.resolve(summary, call.callee)
+                if target is None:
+                    continue
+                callers.setdefault(target, []).append(
+                    (caller, set(call.locks))
+                )
+    held: Dict[str, Set[str]] = {}
+    for fqn in project.table.functions:
+        function = project.table.lookup(fqn)
+        if (
+            function is not None
+            and _is_private_helper(fqn)
+            and callers.get(fqn)
+        ):
+            held[fqn] = set(universe)  # optimistic top, narrowed below
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for fqn in held:
+            new: Optional[Set[str]] = None
+            for caller, locks in callers[fqn]:
+                at_call = locks | held.get(caller, set())
+                new = set(at_call) if new is None else (new & at_call)
+            new = new or set()
+            if new != held[fqn]:
+                held[fqn] = new
+                changed = True
+        if not changed:
+            break
+    info.held_context = held
+
+    # -- acquisition-order graph ---------------------------------------
+    for summary in project.summaries:
+        if summary.module is None:
+            continue
+        for qualname, function in summary.functions.items():
+            fqn = f"{summary.module}.{qualname}"
+            context = info.held_context.get(fqn, set())
+            for site in function.acquires:
+                for prior in set(site.held) | context:
+                    if prior == site.name:
+                        continue
+                    info.order_edges.setdefault(
+                        (prior, site.name),
+                        (summary.path, site.line, site.col, fqn),
+                    )
+
+    project._concurrency_info = info
+    return info
+
+
+@register
+class LockDisciplineRule(ProjectRule):
+    """Flag mutations of lock-guarded attributes outside their lock,
+    and inconsistent lock-acquisition order (deadlock potential)."""
+
+    name = "lock-discipline"
+    severity = "warning"
+    description = (
+        "An attribute protected by a lock (declared via "
+        "units.guarded_by or inferred from consistent locking) is "
+        "mutated without that lock held, or two locks are acquired in "
+        "both orders (deadlock potential)."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        info = concurrency_info(project)
+        seen: Set[Tuple[str, int, str]] = set()
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            for qualname, function in summary.functions.items():
+                if _leaf(qualname) in _EXEMPT_FUNCTIONS:
+                    continue
+                fqn = f"{summary.module}.{qualname}"
+                context = info.held_context.get(fqn, set())
+                for use in function.attr_uses:
+                    guards = info.guards.get(use.attr)
+                    if not guards:
+                        continue
+                    if (set(use.locks) | context) & guards:
+                        continue
+                    key = (summary.path, use.line, use.attr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    lock_list = "/".join(sorted(guards))
+                    how = {
+                        "assign": "assigns",
+                        "augassign": "read-modify-writes",
+                        "subscript": "writes into",
+                        "method": "mutates",
+                    }.get(use.kind, "mutates")
+                    contract = (
+                        "declared guarded_by"
+                        if use.attr in info.explicit
+                        else "consistently guarded elsewhere"
+                    )
+                    yield self.project_finding(
+                        path=summary.path,
+                        line=use.line,
+                        col=use.col,
+                        message=(
+                            f"{function.qualname}() {how} "
+                            f"{use.base}.{use.attr}{use.detail} without "
+                            f"holding {lock_list} ({contract}); a "
+                            "concurrent holder can interleave and tear "
+                            "the update"
+                        ),
+                        hint=(
+                            f"wrap the mutation in `with "
+                            f"self.{sorted(guards)[0]}:` or go through "
+                            "the locking accessor"
+                        ),
+                        severity=(
+                            "error" if use.attr in info.explicit
+                            else "warning"
+                        ),
+                    )
+        reported: Set[Tuple[str, str]] = set()
+        for (first, second), witness in sorted(info.order_edges.items()):
+            if (second, first) not in info.order_edges:
+                continue
+            pair = tuple(sorted((first, second)))
+            if pair in reported:
+                continue
+            reported.add(pair)
+            path, line, col, fqn = witness
+            other = info.order_edges[(second, first)]
+            yield self.project_finding(
+                path=path,
+                line=line,
+                col=col,
+                message=(
+                    f"{fqn} acquires {second} while holding {first}, "
+                    f"but {other[3]} (at {other[0]}:{other[1]}) acquires "
+                    "them in the opposite order; two threads can "
+                    "deadlock"
+                ),
+                hint=(
+                    "pick one global acquisition order for "
+                    f"{pair[0]} and {pair[1]} and use it everywhere"
+                ),
+            )
+
+
+@register
+class ForkSpawnSafetyRule(ProjectRule):
+    """Flag fork/spawn hazards in pool-worker-reachable code."""
+
+    name = "fork-spawn-safety"
+    severity = "warning"
+    description = (
+        "A pool-worker-reachable function acquires a module-level lock "
+        "(duplicated by fork, reset by spawn), spawns threads without "
+        "declaring the effect, or a nested function is submitted to a "
+        "pool (unpicklable under the spawn start method)."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        roots: List[str] = []
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            for qualname, function in summary.functions.items():
+                if function.runner_registered:
+                    roots.append(f"{summary.module}.{qualname}")
+            for target in summary.submit_targets:
+                resolved = project.table.resolve(summary, target)
+                if resolved is not None:
+                    roots.append(resolved)
+                else:
+                    yield from self._nested_submit(summary, target)
+        if not roots:
+            return
+        reachable = project.graph.reachable_from(sorted(set(roots)))
+        for fqn in sorted(reachable):
+            root = reachable[fqn]
+            summary = project.table.module_of(fqn)
+            function = project.table.lookup(fqn)
+            if summary is None or function is None:
+                continue
+            via = "" if fqn == root else f" (reachable from {root})"
+            module_locks = set(summary.module_locks)
+            for site in function.acquires:
+                if "." in site.base or site.base not in module_locks:
+                    continue
+                yield self.project_finding(
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"{function.qualname}() runs in pool worker "
+                        f"processes{via} and acquires module-level lock "
+                        f"{site.base!r}: fork duplicates a possibly-held "
+                        "lock into the child (deadlock), spawn resets "
+                        "it (no exclusion)"
+                    ),
+                    hint=(
+                        "create the lock inside the worker (e.g. a "
+                        "pool initializer) or use a file/Manager lock "
+                        "designed to cross processes"
+                    ),
+                )
+            for effect in function.effects:
+                if effect.kind != "spawns-thread":
+                    continue
+                if "spawns-thread" in function.declared_effects:
+                    continue
+                yield self.project_finding(
+                    path=summary.path,
+                    line=effect.line,
+                    col=effect.col,
+                    message=(
+                        f"{function.qualname}() runs in pool worker "
+                        f"processes{via} and spawns a thread "
+                        f"({effect.detail}); worker threads die with "
+                        "the worker and their state never reaches the "
+                        "parent"
+                    ),
+                    hint=(
+                        "declare the contract with `-> Annotated[..., "
+                        'units.effects("spawns-thread")]` if the '
+                        "thread is intentionally worker-local"
+                    ),
+                )
+
+    def _nested_submit(self, summary, target: str) -> Iterator[Finding]:
+        """An unresolvable submit target that names a nested function
+        is unpicklable under the spawn start method."""
+        leaf = _leaf(target)
+        for qualname, function in summary.functions.items():
+            if not function.is_nested:
+                continue
+            if not qualname.endswith(f".<locals>.{leaf}"):
+                continue
+            site = self._submit_site(summary, target)
+            if site is None:
+                continue
+            yield self.project_finding(
+                path=summary.path,
+                line=site[0],
+                col=site[1],
+                message=(
+                    f"nested function {qualname}() is submitted to a "
+                    "process pool; nested functions cannot be pickled, "
+                    "so this breaks under the spawn start method "
+                    "(the macOS/Windows default)"
+                ),
+                hint="move the worker function to module level",
+                severity="error",
+            )
+            return
+
+    @staticmethod
+    def _submit_site(summary, target: str) -> Optional[Tuple[int, int]]:
+        for function in summary.functions.values():
+            for call in function.calls:
+                if call.callee == target:
+                    return (call.line, call.col)
+        return None
+
+
+@register
+class BlockingHotPathRule(ProjectRule):
+    """Flag blocking operations reachable from solver hot paths."""
+
+    name = "blocking-in-hot-path"
+    severity = "warning"
+    description = (
+        "A blocking operation (sleep, flock, blocking queue put) is "
+        "reachable from a hot path: a function opening a solver/rcmodel "
+        "span, an async function, or a declared units.hot_path() root. "
+        "The future campaign daemon's event loop cannot afford to "
+        "stall there."
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        prefixes = _hot_span_prefixes(project)
+        roots: List[str] = []
+        for summary in project.summaries:
+            if summary.module is None:
+                continue
+            for qualname, function in summary.functions.items():
+                hot = (
+                    function.is_async
+                    or "hot-path" in function.declared_effects
+                    or any(
+                        name.startswith(prefixes)
+                        for name in function.span_names
+                    )
+                )
+                if hot:
+                    roots.append(f"{summary.module}.{qualname}")
+        if not roots:
+            return
+        reachable = project.graph.reachable_from(sorted(set(roots)))
+        seen: Set[Tuple[str, int]] = set()
+        for fqn in sorted(reachable):
+            root = reachable[fqn]
+            summary = project.table.module_of(fqn)
+            function = project.table.lookup(fqn)
+            if summary is None or function is None:
+                continue
+            for effect in function.effects:
+                if effect.kind != "blocks-on-io":
+                    continue
+                if "blocks-on-io" in function.declared_effects:
+                    continue
+                key = (summary.path, effect.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                via = "" if fqn == root else f", reachable from {root}"
+                yield self.project_finding(
+                    path=summary.path,
+                    line=effect.line,
+                    col=effect.col,
+                    message=(
+                        f"{function.qualname}() blocks ({effect.detail}) "
+                        f"on a hot path{via}; a stalled solver span or "
+                        "async handler holds up every queued campaign "
+                        "job"
+                    ),
+                    hint=(
+                        "move the blocking call off the hot path, use a "
+                        "non-blocking variant (put_nowait), or declare "
+                        "the contract with `-> Annotated[..., "
+                        'units.effects("blocks-on-io")]`'
+                    ),
+                )

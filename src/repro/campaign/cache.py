@@ -21,7 +21,9 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Union
+from typing import (
+    TYPE_CHECKING, Annotated, Any, Dict, Iterator, Optional, Union,
+)
 
 try:
     import fcntl
@@ -33,7 +35,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
-from .. import obs
+from .. import obs, units
 
 #: Environment knobs: ``REPRO_CACHE_DIR`` relocates the store,
 #: ``REPRO_DISK_CACHE=0`` disables it (solves always recompute).
@@ -122,7 +124,9 @@ class ResultCache:
                 if isinstance(v, (int, float))}
 
     @contextlib.contextmanager
-    def _counters_lock(self) -> Iterator[None]:
+    def _counters_lock(
+        self,
+    ) -> Annotated[Iterator[None], units.effects("blocks-on-io")]:
         """Advisory cross-process lock for the counters read-modify-write.
 
         ``flock`` on a sidecar lockfile serializes concurrent campaigns'
@@ -140,7 +144,9 @@ class ResultCache:
             finally:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
-    def _bump(self, name: str, n: int = 1) -> None:
+    def _bump(
+        self, name: str, n: int = 1
+    ) -> Annotated[None, units.effects("blocks-on-io")]:
         """Count one cache event: session, global metrics, and on disk.
 
         The on-disk update is a read-modify-write under an advisory

@@ -36,9 +36,9 @@ import os
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Annotated, Any, Callable, Dict, List, Optional, Tuple
 
-from .. import obs
+from .. import obs, units
 from ..errors import CampaignError
 from .cache import JobResult, ResultCache
 from .manifest import CampaignSummary, ManifestWriter, summarize
@@ -227,7 +227,16 @@ class CampaignRun:
         return roots
 
 
-def _backoff_sleep(backoff: float, attempt: int) -> None:
+def _backoff_sleep(
+    backoff: float, attempt: int
+) -> Annotated[None, units.effects("blocks-on-io")]:
+    """Exponential-backoff delay between submit retries.
+
+    Deliberately blocking — retry pacing is its whole purpose — and
+    declared as such so the blocking-in-hot-path rule (R14) knows this
+    sleep is a contract, not an accident, should a solver span ever
+    grow a path into the retry machinery.
+    """
     if backoff > 0:
         time.sleep(backoff * (2 ** attempt))
 

@@ -40,8 +40,9 @@ import os
 import queue
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Annotated, Any, Callable, Dict, List, Optional, Tuple
 
+from .. import units
 from .metrics import MetricsRegistry, Snapshot, flatten_snapshot, snapshot_diff
 
 #: Event types emitted by the campaign engine, in lifecycle order.
@@ -81,6 +82,13 @@ class EventBuffer:
     appender's thread; a raising subscriber is dropped (one bad
     renderer must not kill the drain).
     """
+
+    #: concurrency contract, checked whole-program by R12: every
+    #: mutation of the ring state must hold ``_lock``
+    _events: Annotated[List[Event], units.guarded_by("_lock")]
+    _seq: Annotated[int, units.guarded_by("_lock")]
+    _subscribers: Annotated[List[Subscriber], units.guarded_by("_lock")]
+    evicted: Annotated[int, units.guarded_by("_lock")]
 
     def __init__(self, capacity: int = 8192) -> None:
         if capacity < 1:
@@ -150,22 +158,39 @@ class EventPublisher:
     drops even though the dropped events themselves never arrive.
     """
 
+    published: Annotated[int, units.guarded_by("_lock")]
+    dropped: Annotated[int, units.guarded_by("_lock")]
+
     def __init__(self, sink: Any) -> None:
         self._sink = sink
+        self._lock = threading.Lock()
         self.published = 0
         self.dropped = 0
 
     def publish(self, event: Event) -> bool:
-        """Enqueue without blocking; returns whether the event made it."""
-        event["stream"] = {"published": self.published + 1,
-                           "dropped": self.dropped}
-        try:
-            self._sink.put_nowait(event)
-        except (queue.Full, OSError, ValueError, EOFError, BrokenPipeError):
-            self.dropped += 1
-            return False
-        self.published += 1
-        return True
+        """Enqueue without blocking; returns whether the event made it.
+
+        The count-stamp-send sequence runs under ``_lock`` so that
+        concurrent publishers (the job thread and its heartbeat thread
+        share one publisher) never tear the accounting: every event's
+        ``"stream"`` stamp is consistent with the counters at the
+        moment it was enqueued, and ``published + dropped`` equals the
+        number of :meth:`publish` calls exactly.  ``put_nowait`` never
+        blocks, so holding the lock across it is cheap.
+        """
+        with self._lock:
+            event["stream"] = {"published": self.published + 1,
+                               "dropped": self.dropped}
+            try:
+                self._sink.put_nowait(event)
+            except (queue.Full, OSError, ValueError, EOFError,
+                    BrokenPipeError):
+                self.dropped += 1
+                event["stream"] = {"published": self.published,
+                                   "dropped": self.dropped}
+                return False
+            self.published += 1
+            return True
 
 
 class _HeartbeatThread(threading.Thread):
@@ -241,7 +266,10 @@ def job_telemetry(
     kind: str,
     registry: MetricsRegistry,
     before: Optional[Snapshot] = None,
-) -> Tuple[Optional[EventPublisher], Optional[_HeartbeatThread]]:
+) -> Annotated[
+    Tuple[Optional[EventPublisher], Optional[_HeartbeatThread]],
+    units.effects("spawns-thread"),
+]:
     """Start job-lifecycle streaming for one worker-side job.
 
     Publishes ``job_started`` and launches the heartbeat thread;
@@ -280,6 +308,10 @@ class EventStream:
     workers without worker-side streaming, mirroring its own
     pool-unavailable fallback.
     """
+
+    #: the JSONL sidecar handle is attached/detached from the caller
+    #: thread while the drain thread writes to it
+    _sidecar: Annotated[Optional[Any], units.guarded_by("_sidecar_lock")]
 
     def __init__(
         self,

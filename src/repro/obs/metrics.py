@@ -20,7 +20,9 @@ runs report identical counts.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Annotated, Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import units
 
 #: Default histogram buckets for durations in seconds: ~log-spaced from
 #: 100 microseconds (one sparse triangular solve on a small grid) to
@@ -39,6 +41,10 @@ class Counter:
     """
 
     __slots__ = ("name", "_value", "_lock")
+
+    #: mutations hold the (possibly registry-shared) lock; the
+    #: ``value`` property is an intentional lock-free fast read
+    _value: Annotated[float, units.guarded_by("_lock")]
 
     def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
@@ -59,6 +65,8 @@ class Gauge:
     """A last-write-wins instantaneous value."""
 
     __slots__ = ("name", "_value", "_lock")
+
+    _value: Annotated[float, units.guarded_by("_lock")]
 
     def __init__(self, name: str, lock: Optional[threading.Lock] = None) -> None:
         self.name = name
@@ -84,6 +92,10 @@ class Histogram:
     """
 
     __slots__ = ("name", "bounds", "_counts", "_sum", "_n", "_lock")
+
+    _counts: Annotated[List[int], units.guarded_by("_lock")]
+    _sum: Annotated[float, units.guarded_by("_lock")]
+    _n: Annotated[int, units.guarded_by("_lock")]
 
     def __init__(
         self,
@@ -138,6 +150,10 @@ class MetricsRegistry:
     existing name with the same type returns the live instance, with a
     different type raises — silent shadowing would split counts.
     """
+
+    #: get-or-create and snapshot iterate/mutate this map from
+    #: arbitrary threads; every access holds the registry lock
+    _metrics: Annotated[Dict[str, "Metric"], units.guarded_by("_lock")]
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}

@@ -15,8 +15,9 @@ from __future__ import annotations
 import sys
 import threading
 import time
-from typing import IO, Any, Dict, List, Optional
+from typing import IO, Annotated, Any, Dict, List, Optional
 
+from .. import units
 from .events import Event
 
 #: Job states, in lifecycle order.
@@ -63,6 +64,12 @@ class CampaignProgress:
     read the derived aggregates at any time.  Thread-safe: events
     arrive on the drain thread while renderers read from elsewhere.
     """
+
+    #: the job table and its insertion order are written by the drain
+    #: thread (via :meth:`observe`) while renderers read them; R12
+    #: checks every mutation holds ``_lock``
+    _jobs: Annotated[Dict[str, JobProgress], units.guarded_by("_lock")]
+    _order: Annotated[List[str], units.guarded_by("_lock")]
 
     def __init__(self, total: int = 0) -> None:
         self.total = total
@@ -169,9 +176,14 @@ class CampaignProgress:
         elapsed = self.elapsed_s(now)
         return self.done / elapsed if elapsed > 0 else 0.0
 
+    def known_total(self) -> int:
+        """Declared job total, or the number of jobs seen so far."""
+        with self._lock:
+            return self.total or len(self._jobs)
+
     def eta_s(self, now: Optional[float] = None) -> Optional[float]:
         """Estimated seconds to completion, ``None`` before any signal."""
-        remaining = max(0, (self.total or len(self._jobs)) - self.done)
+        remaining = max(0, self.known_total() - self.done)
         if remaining == 0:
             return 0.0
         rate = self.throughput(now)
@@ -184,7 +196,7 @@ class CampaignProgress:
     def render_line(self, now: Optional[float] = None) -> str:
         """One-line status: counts, throughput, cache rate, ETA."""
         counts = self.counts()
-        total = self.total or len(self._order)
+        total = self.known_total()
         eta = self.eta_s(now)
         eta_text = f"{eta:.0f}s" if eta is not None else "?"
         name = self.campaign or "campaign"
@@ -216,6 +228,10 @@ class LiveRenderer:
     counts always land).  On a TTY the line rewrites in place; on a
     pipe it prints at most one line per repaint so logs stay readable.
     """
+
+    #: written by whichever thread wins the repaint throttle race —
+    #: the drain thread via :meth:`on_event` or the TTY loop
+    _last_paint: Annotated[float, units.guarded_by("_lock")]
 
     def __init__(
         self,

@@ -26,8 +26,9 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Annotated, Any, Dict, List, Optional
 
+from .. import units
 from .metrics import MetricsRegistry, flatten_snapshot
 
 SampleRow = Dict[str, Any]
@@ -84,6 +85,11 @@ class ResourceSampler:
     measures exactly that path.
     """
 
+    #: the ring and its eviction counter are written by the sampler
+    #: thread while readers call :meth:`rows`/:meth:`summary`
+    _ring: Annotated[List["SampleRow"], units.guarded_by("_lock")]
+    evicted: Annotated[int, units.guarded_by("_lock")]
+
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
@@ -97,7 +103,7 @@ class ResourceSampler:
         self.capacity = capacity
         self.evicted = 0
         self.count = 0
-        self._rows: List[SampleRow] = []
+        self._ring: List[SampleRow] = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -117,11 +123,11 @@ class ResourceSampler:
         row["gc_gen0"], row["gc_gen1"], row["gc_gen2"] = gen0, gen1, gen2
         row["metrics"] = flatten_snapshot(self._resolve_registry().snapshot())
         with self._lock:
-            self._rows.append(row)
+            self._ring.append(row)
             self.count += 1
-            if len(self._rows) > self.capacity:
-                drop = len(self._rows) - self.capacity
-                del self._rows[:drop]
+            if len(self._ring) > self.capacity:
+                drop = len(self._ring) - self.capacity
+                del self._ring[:drop]
                 self.evicted += drop
         return row
 
@@ -161,7 +167,7 @@ class ResourceSampler:
     def rows(self) -> List[SampleRow]:
         """The retained sample rows, oldest first."""
         with self._lock:
-            return list(self._rows)
+            return list(self._ring)
 
     def write_jsonl(self, path: str) -> int:
         """Write retained rows as JSONL; returns the row count written."""

@@ -136,6 +136,29 @@ SHAPE_PREFIX = "shape:"
 DTYPE_PREFIX = "dtype:"
 PROVENANCE_PREFIX = "prov:"
 
+#: Prefixes for the concurrency-contract annotations (:func:`guarded_by`,
+#: :func:`effects`, :func:`hot_path`).
+GUARDED_PREFIX = "guarded:"
+EFFECT_PREFIX = "effect:"
+
+#: Span-name prefixes that mark *hot paths* for the blocking-in-hot-path
+#: rule (R14): any function opening an ``obs.span``/``obs.trace`` whose
+#: name starts with one of these is a latency-sensitive root, and
+#: nothing reachable from it may sleep, flock, or block on a queue.
+HOT_SPAN_PREFIXES = ("solver.", "rcmodel.")
+
+#: Call-name suffixes the effect extractor treats as blocking
+#: operations, mapped to the effect kind they produce.  Matched against
+#: the last component of the dotted callee (``time.sleep`` → ``sleep``,
+#: ``fcntl.flock`` → ``flock``); ``put`` only counts when the receiver
+#: looks like a queue (name contains ``queue``/``sink``) and the call is
+#: not explicitly non-blocking.
+BLOCKING_CALLS = {
+    "sleep": "blocks-on-io",
+    "flock": "blocks-on-io",
+    "put": "blocks-on-io",
+}
+
 
 def quantity(unit: str) -> str:
     """Declare the physical unit of an annotated value.
@@ -198,6 +221,54 @@ def cache_shared() -> str:
     return f"{PROVENANCE_PREFIX}cache-shared"
 
 
+def guarded_by(*locks: str) -> str:
+    """Declare that an attribute is protected by the named lock(s).
+
+    Used inside ``typing.Annotated`` on a class-body attribute
+    declaration to state its concurrency contract::
+
+        class EventBuffer:
+            _events: Annotated[List[Event], guarded_by("_lock")]
+
+    At runtime this is just a tagged string; the static analyzer's
+    lock-discipline rule (R12) verifies, whole-program, that every
+    mutation of the attribute happens while at least one of the named
+    locks is held (lexically via ``with self._lock:`` or via a caller
+    that already holds it).  Plain reads are deliberately exempt — the
+    codebase uses intentional lock-free fast reads (``Counter.value``).
+    """
+    return GUARDED_PREFIX + ",".join(locks)
+
+
+def effects(*kinds: str) -> str:
+    """Declare a function's intentional concurrency effects.
+
+    Used inside ``typing.Annotated`` on a *return* annotation to
+    acknowledge effects the analyzer would otherwise flag::
+
+        def job_telemetry(...) -> Annotated[
+            Tuple[...], effects("spawns-thread")
+        ]: ...
+
+    Known kinds: ``"blocks-on-io"`` (sleep / flock / blocking queue
+    put), ``"spawns-thread"`` (thread or Manager construction).  A
+    declared effect silences R13/R14 for matching sites inside the
+    function body — it is a reviewed contract, not a suppression.
+    """
+    return EFFECT_PREFIX + ",".join(kinds)
+
+
+def hot_path() -> str:
+    """Declare a function as a latency-sensitive hot-path root (R14).
+
+    Equivalent to opening a :data:`HOT_SPAN_PREFIXES` span: nothing
+    reachable from the function may sleep, flock, or block on a queue.
+    Use on solver entry points and would-be async handlers that carry
+    no span of their own.
+    """
+    return f"{EFFECT_PREFIX}hot-path"
+
+
 def signature_tables() -> dict:
     """The machine-readable dimension tables, as one mapping.
 
@@ -212,6 +283,10 @@ def signature_tables() -> dict:
         "parameters": dict(PARAMETER_DIMENSIONS),
         "shapes": {name: list(dims) for name, dims in PARAMETER_SHAPES.items()},
         "dimension_parameters": list(DIMENSION_PARAMETERS),
+        "concurrency": {
+            "hot_span_prefixes": list(HOT_SPAN_PREFIXES),
+            "blocking_calls": dict(BLOCKING_CALLS),
+        },
     }
 
 #: Offset between the Kelvin and Celsius scales.

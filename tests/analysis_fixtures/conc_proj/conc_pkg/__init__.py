@@ -1,0 +1,4 @@
+"""Seeded cross-module concurrency bug: each file is locally
+consistent, but render.py mutates ring.py's lock-guarded subscriber
+list without the lock.  Only the whole-program lock-discipline pass
+(R12) can see it."""

@@ -1,0 +1,47 @@
+"""An event ring drained by a background thread.
+
+Every mutation of ``_events`` and ``_subscribers`` in this module
+holds ``_lock`` — the consistent locking is what lets the analyzer
+infer the guard contract without an explicit annotation.
+"""
+
+import threading
+
+
+class EventRing:
+    """Fixed-capacity event ring with subscriber callbacks.
+
+    ``drain()`` runs on a dedicated thread: it snapshots the events
+    and the subscriber list under the lock, then invokes callbacks
+    outside it so a slow subscriber never stalls producers.
+    """
+
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self._events = []
+        self._subscribers = []
+        self._lock = threading.Lock()
+
+    def subscribe(self, callback):
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback):
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+    def push(self, event):
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[:1]
+
+    def drain(self):
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            targets = list(self._subscribers)
+        for event in events:
+            for callback in targets:
+                callback(event)

@@ -1,0 +1,51 @@
+"""Negatives for R12: disciplined locking, including a private helper
+that mutates guarded state on behalf of lock-holding callers (the
+held-context fixpoint must keep it clean)."""
+
+import threading
+from typing import Annotated, Dict, List
+
+from repro import units
+
+
+class SampleRing:
+    """Same contract as the positive fixture, all mutations locked."""
+
+    _samples: Annotated[List[float], units.guarded_by("_ring_lock")]
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._samples = []
+        self._ring_lock = threading.Lock()
+
+    def record(self, value):
+        with self._ring_lock:
+            self._samples.append(value)
+
+    def discard_oldest(self):
+        with self._ring_lock:
+            if self._samples:
+                self._samples.pop(0)
+
+
+class Folded:
+    """Public methods lock; the private helper inherits the context."""
+
+    _jobs: Annotated[Dict[str, bool], units.guarded_by("_lock")]
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+
+    def observe(self, tag):
+        with self._lock:
+            self._jobs[tag] = True
+            self._note(tag)
+
+    def forget(self, tag):
+        with self._lock:
+            self._jobs.pop(tag, None)
+
+    def _note(self, tag):
+        # every caller holds _lock at the call site, so this is guarded
+        self._jobs[tag + ".note"] = True

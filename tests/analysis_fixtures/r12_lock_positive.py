@@ -1,0 +1,47 @@
+"""Positives for R12: an unguarded mutation of an attribute with an
+explicit ``guarded_by`` contract, and a lock-order inversion."""
+
+import threading
+from typing import Annotated, List
+
+from repro import units
+
+
+class SampleRing:
+    """Ring with a declared guard contract on its storage."""
+
+    _samples: Annotated[List[float], units.guarded_by("_ring_lock")]
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._samples = []
+        self._ring_lock = threading.Lock()
+
+    def record(self, value):
+        with self._ring_lock:
+            self._samples.append(value)
+
+    def discard_oldest(self):
+        # pops the guarded ring without holding _ring_lock
+        if self._samples:
+            self._samples.pop(0)
+
+
+class Orderer:
+    """Acquires its two locks in both orders: deadlock potential."""
+
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+        self.forward_ops = 0
+        self.backward_ops = 0
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:
+                self.forward_ops += 1
+
+    def backward(self):
+        with self._beta_lock:
+            with self._alpha_lock:
+                self.backward_ops += 1

@@ -1,0 +1,34 @@
+"""Negatives for R13: worker-local locks, declared thread effects, and
+module-level worker functions are all fine under fork and spawn."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Annotated
+
+from repro import units
+
+_LIMITS = (1, 2, 4)
+
+
+def simulate(job):
+    worker_lock = threading.Lock()  # created inside the worker: safe
+    with worker_lock:
+        return job * 2
+
+
+def sample_in_background(
+    job,
+) -> Annotated[int, units.effects("spawns-thread")]:
+    watcher = threading.Thread(target=simulate, args=(job,))
+    watcher.start()
+    return job
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(simulate, jobs))
+
+
+def run_threaded(jobs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(sample_in_background, jobs))

@@ -1,0 +1,44 @@
+"""Positives for R13: a worker acquiring a fork-inherited module lock,
+a worker spawning an undeclared thread, and a nested-function submit
+that cannot pickle under the spawn start method."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_STATE_LOCK = threading.Lock()
+_PROGRESS = {}
+
+
+def simulate(job):
+    # fork duplicates _STATE_LOCK (possibly held) into the child;
+    # spawn resets it so it excludes nothing
+    with _STATE_LOCK:
+        _PROGRESS[job] = True
+    return job * 2
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(simulate, jobs))
+
+
+def sample_in_background(job):
+    # spawns a thread inside the worker without declaring the effect
+    watcher = threading.Thread(target=simulate, args=(job,))
+    watcher.start()
+    return job
+
+
+def run_threaded(jobs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(sample_in_background, jobs))
+
+
+def run_nested(jobs):
+    offset = 1.5
+
+    def scale(job):
+        return job * offset
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(scale, jobs))

@@ -1,0 +1,35 @@
+"""Negatives for R14: declared blocking contracts, non-blocking queue
+operations, and spans outside the hot prefixes."""
+
+import time
+from typing import Annotated
+
+from repro import obs, units
+
+
+def solve_steady(model, out_queue):
+    with obs.span("solver.steady.fixture"):
+        _checkpoint(model)
+        push_nowait(out_queue, model)
+        push_unblocking(out_queue, model)
+    return model
+
+
+def _checkpoint(model) -> Annotated[None, units.effects("blocks-on-io")]:
+    # declared: the hot caller knowingly accepts this stall
+    time.sleep(0.001)
+
+
+def push_nowait(sink, event):
+    sink.put_nowait(event)
+
+
+def push_unblocking(out_queue, event):
+    out_queue.put(event, block=False)
+
+
+def export_rows(rows):
+    # a span outside the hot prefixes does not make a root
+    with obs.span("export.rows"):
+        time.sleep(0.0)
+        return list(rows)

@@ -1,0 +1,24 @@
+"""Positives for R14: blocking operations reachable from a solver
+span and sitting directly in an async function."""
+
+import time
+
+from repro import obs
+
+
+def solve_steady(model):
+    with obs.span("solver.steady.fixture"):
+        _settle()
+    return model
+
+
+def _settle():
+    # reachable from the solver.* span root above
+    time.sleep(0.05)
+
+
+async def poll_status(queue_out, status):
+    # an async function is a hot root by itself: both the blocking
+    # queue put and the sleep stall the event loop
+    queue_out.put(status)
+    time.sleep(0.01)

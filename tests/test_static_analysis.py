@@ -446,6 +446,128 @@ def test_r11_negative_fixture():
     assert result.findings == []
 
 
+# --- R12-R14: concurrency safety --------------------------------------------
+
+
+def test_r12_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r12_lock_positive.py")],
+        rule_names=["lock-discipline"],
+    )
+    assert len(result.findings) == 2
+    messages = " | ".join(f.message for f in result.findings)
+    assert "discard_oldest() mutates self._samples.pop()" in messages
+    assert "declared guarded_by" in messages
+    assert "opposite order" in messages
+    by_severity = sorted(f.severity for f in result.findings)
+    assert by_severity == ["error", "warning"]  # explicit contract errs
+
+
+def test_r12_negative_fixture():
+    """Disciplined locking plus a lock-holding caller's private helper
+    (the held-context fixpoint) produce no findings."""
+    result = analyze_paths(
+        [str(FIXTURES / "r12_lock_negative.py")],
+        rule_names=["lock-discipline"],
+    )
+    assert result.findings == []
+
+
+def test_r12_seeded_cross_module_bug_needs_the_whole_program_pass():
+    """render.py mutates ring.py's guarded subscriber list unlocked:
+    only the project-wide guard map connects the two files."""
+    locked = analyze_paths(
+        [str(FIXTURES / "conc_proj")], rule_names=["lock-discipline"]
+    )
+    assert len(locked.findings) == 1
+    finding = locked.findings[0]
+    assert finding.rule == "lock-discipline"
+    assert finding.path.endswith("render.py")
+    assert "_subscribers" in finding.message
+    assert finding.severity == "warning"  # inferred guard, not declared
+    # each file alone is consistent: every per-file rule stays silent
+    per_file = analyze_paths(
+        [str(FIXTURES / "conc_proj")],
+        rule_names=[
+            "unit-consistency", "cache-invalidation", "hash-determinism",
+            "pickle-safety", "float-equality", "obs-taxonomy",
+        ],
+    )
+    assert per_file.findings == []
+
+
+def test_r12_pragma_alias_suppresses(tmp_path):
+    target = tmp_path / "guarded.py"
+    target.write_text(
+        "import threading\n"
+        "from typing import Annotated, List\n"
+        "from repro import units\n"
+        "\n"
+        "\n"
+        "class Ring:\n"
+        "    _items: Annotated[List[int], units.guarded_by('_lock')]\n"
+        "\n"
+        "    def __init__(self):\n"
+        "        self._items = []\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    def add(self, item):\n"
+        "        with self._lock:\n"
+        "            self._items.append(item)\n"
+        "\n"
+        "    def drop(self, item):\n"
+        "        self._items.remove(item)  # repro-ok: R12\n"
+        "\n"
+        "    def steal(self, item):\n"
+        "        self._items.remove(item)\n"
+    )
+    result = analyze_paths([str(target)], rule_names=["lock-discipline"])
+    assert [f.line for f in result.findings] == [21]
+
+
+def test_r13_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r13_fork_positive.py")],
+        rule_names=["fork-spawn-safety"],
+    )
+    assert len(result.findings) == 3
+    messages = " | ".join(f.message for f in result.findings)
+    assert "module-level lock '_STATE_LOCK'" in messages
+    assert "spawns a thread" in messages
+    assert "cannot be pickled" in messages
+    severities = sorted(f.severity for f in result.findings)
+    assert severities == ["error", "warning", "warning"]  # nested submit
+
+
+def test_r13_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r13_fork_negative.py")],
+        rule_names=["fork-spawn-safety"],
+    )
+    assert result.findings == []
+
+
+def test_r14_positive_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r14_hot_positive.py")],
+        rule_names=["blocking-in-hot-path"],
+    )
+    assert len(result.findings) == 3
+    messages = " | ".join(f.message for f in result.findings)
+    assert "reachable from" in messages
+    assert "time.sleep()" in messages
+    assert "may block on a full queue" in messages
+    assert all(f.severity == "warning" for f in result.findings)
+
+
+def test_r14_negative_fixture():
+    result = analyze_paths(
+        [str(FIXTURES / "r14_hot_negative.py")],
+        rule_names=["blocking-in-hot-path"],
+    )
+    assert result.findings == []
+
+
 def test_multi_rule_pragma_suppression_and_per_rule_rot_scan(tmp_path):
     """``# repro-ok: R9,R10`` suppresses both rules on one line; where
     only one of the two actually fires, the rot scan names just the
@@ -568,6 +690,9 @@ def test_rule_aliases_select_and_canonicalize():
         "unit-flow", "pool-safety",
     }
     assert RULE_ALIASES["R1"] == "unit-consistency"
+    assert canonical_rule_name("R12") == "lock-discipline"
+    assert canonical_rule_name("R13") == "fork-spawn-safety"
+    assert canonical_rule_name("R14") == "blocking-in-hot-path"
 
 
 def test_alias_pragmas_and_unused_pragma_notes(tmp_path):
@@ -698,6 +823,28 @@ def test_cache_invalidates_when_shape_tables_change(tmp_path, monkeypatch):
     warm = analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
     assert warm.cache_hits == 1
     monkeypatch.setitem(units.PARAMETER_SHAPES, "node_power", ("n_cells",))
+    changed = analyze_paths(
+        [str(target)], use_cache=True, cache_dir=cache_dir
+    )
+    assert changed.cache_hits == 0
+
+
+def test_cache_invalidates_when_concurrency_tables_change(
+    tmp_path, monkeypatch
+):
+    """The fingerprint also covers the concurrency tables: adding a
+    blocking-call name must turn warm hits back into misses."""
+    target = tmp_path / "hot.py"
+    target.write_text(
+        "import time\n"
+        "def f():\n"
+        "    time.sleep(0.1)\n"
+    )
+    cache_dir = str(tmp_path / "cache")
+    analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    warm = analyze_paths([str(target)], use_cache=True, cache_dir=cache_dir)
+    assert warm.cache_hits == 1
+    monkeypatch.setitem(units.BLOCKING_CALLS, "recv", "blocks-on-io")
     changed = analyze_paths(
         [str(target)], use_cache=True, cache_dir=cache_dir
     )
@@ -1050,13 +1197,16 @@ def test_src_tree_is_clean_against_committed_baseline():
     )
 
 
-def test_all_eleven_rules_registered():
+def test_all_fourteen_rules_registered():
     assert rule_names() == [
+        "blocking-in-hot-path",
         "cache-alias-mutation",
         "cache-invalidation",
         "dtype-flow",
         "float-equality",
+        "fork-spawn-safety",
         "hash-determinism",
+        "lock-discipline",
         "obs-taxonomy",
         "pickle-safety",
         "pool-safety",
@@ -1064,5 +1214,5 @@ def test_all_eleven_rules_registered():
         "unit-consistency",
         "unit-flow",
     ]
-    assert set(RULE_ALIASES) == {f"R{i}" for i in range(1, 12)}
+    assert set(RULE_ALIASES) == {f"R{i}" for i in range(1, 15)}
     assert sorted(RULE_ALIASES.values()) == rule_names()
