@@ -31,12 +31,22 @@ the JSONL manifest.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Annotated, Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    Annotated,
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
 
 from .. import obs, units
 from ..errors import CampaignError
@@ -57,6 +67,22 @@ _JOB_SECONDS = obs.metrics().histogram("campaign.job.wall_seconds")
 #: What a worker returns: result, wall seconds, worker pid, and the
 #: observability capture (``None`` unless capture was requested).
 WorkerReturn = Tuple[JobResult, float, int, Optional[Dict[str, Any]]]
+
+
+def _backend_scope(spec: JobSpec) -> ContextManager[Any]:
+    """The solver-backend selection scope for one job.
+
+    Jobs that pin a backend run inside
+    :func:`repro.solver.backends.backend_override`, so every solver
+    call the runner makes — without threading a parameter through the
+    runner signature — resolves to the spec's engine.  Imported lazily:
+    spec handling must stay importable without scipy.
+    """
+    if spec.backend is None:
+        return contextlib.nullcontext()
+    from ..solver.backends import backend_override
+
+    return backend_override(spec.backend)
 
 
 def execute_job(
@@ -89,7 +115,8 @@ def execute_job(
             stream, spec.tag, spec.kind, registry, before
         )
         try:
-            result = get_runner(spec.kind)(spec)
+            with _backend_scope(spec):
+                result = get_runner(spec.kind)(spec)
         finally:
             if heartbeat is not None:
                 heartbeat.stop()
@@ -105,7 +132,8 @@ def execute_job(
     try:
         with obs.Span("campaign.job", {"tag": spec.tag, "kind": spec.kind},
                       tracer=tracer) as job_span:
-            result = get_runner(spec.kind)(spec)
+            with _backend_scope(spec):
+                result = get_runner(spec.kind)(spec)
     finally:
         tracer.enabled = was_enabled
         if heartbeat is not None:
@@ -358,8 +386,11 @@ def _run_batched(
                             elapsed_s=0.0, metrics={}, batched=True)
         before = registry.snapshot() if capture else None
         try:
+            # one scope for the whole group: batch_groups keys on the
+            # backend, so every member shares the same selection
             with obs.span("campaign.batch", kind=kind, n_jobs=len(group)):
-                results = get_batch_runner(kind)(group)
+                with _backend_scope(group[0]):
+                    results = get_batch_runner(kind)(group)
             missing = [s.tag for s in group if s.tag not in results]
             if missing:
                 raise CampaignError(

@@ -26,7 +26,9 @@ from ..units import ZERO_CELSIUS_IN_KELVIN
 
 #: Bump when the meaning of a spec field changes, so stale cache
 #: entries written by an older scheme can never be mistaken for fresh.
-SPEC_VERSION = 1
+#: Version 2: jobs carry a solver-backend identity, so results
+#: computed by different linear-algebra engines never share an entry.
+SPEC_VERSION = 2
 
 
 def freeze(value: Any) -> Any:
@@ -141,12 +143,17 @@ class JobSpec:
     tuple of ``(name, value)`` pairs (use :meth:`make` rather than the
     raw constructor).  ``tag`` identifies the job within its campaign
     (e.g. the flow direction of a Fig. 11 job) and must be unique.
+    ``backend`` selects the linear-algebra engine
+    (:mod:`repro.solver.backends`); it participates in the content
+    hash, so results computed by different backends never share a
+    cache entry (``None`` = follow the runtime selection precedence).
     """
 
     kind: str
     tag: str
     model: Optional[ModelSpec] = None
     params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    backend: Optional[str] = None
 
     @classmethod
     def make(
@@ -154,11 +161,13 @@ class JobSpec:
         kind: str,
         tag: str,
         model: Optional[ModelSpec] = None,
+        backend: Optional[str] = None,
         **params: Any,
     ) -> "JobSpec":
         """Build a spec from keyword parameters (the normal entry)."""
         frozen = tuple(sorted((k, freeze(v)) for k, v in params.items()))
-        return cls(kind=kind, tag=tag, model=model, params=frozen)
+        return cls(kind=kind, tag=tag, model=model, params=frozen,
+                   backend=backend)
 
     @property
     def params_dict(self) -> Dict[str, Any]:
@@ -176,6 +185,7 @@ class JobSpec:
             "kind": self.kind,
             "model": dataclasses.asdict(self.model) if self.model else None,
             "params": [[k, v] for k, v in self.params],
+            "backend": self.backend,
         }
 
     @property
@@ -191,10 +201,17 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A named, ordered set of jobs with unique tags."""
+    """A named, ordered set of jobs with unique tags.
+
+    ``backend`` is the campaign-wide solver-backend selection: at
+    construction it is pushed down onto every member job that does not
+    already pin its own (job-explicit wins), so it flows into each
+    job's content hash and the executor's runtime selection.
+    """
 
     name: str
     jobs: Tuple[JobSpec, ...]
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         tags = [job.tag for job in self.jobs]
@@ -205,14 +222,26 @@ class CampaignSpec:
             )
         if not self.jobs:
             raise CampaignError(f"campaign {self.name!r} has no jobs")
+        if self.backend is not None:
+            object.__setattr__(self, "jobs", tuple(
+                job if job.backend is not None
+                else dataclasses.replace(job, backend=self.backend)
+                for job in self.jobs
+            ))
 
     def __len__(self) -> int:
         return len(self.jobs)
 
     @property
     def content_hash(self) -> str:
-        """SHA-256 over the member jobs' hashes (order-sensitive)."""
+        """SHA-256 over the member jobs' hashes (order-sensitive).
+
+        The jobs' hashes already embed each job's backend; the
+        campaign-level field rides along explicitly so two campaigns
+        differing only in an (un-propagated) default still differ.
+        """
         return _sha256(canonical_json(
             {"name": self.name,
+             "backend": self.backend,
              "jobs": [job.content_hash for job in self.jobs]}
         ))

@@ -156,6 +156,11 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--no-batch", action="store_true",
                       help="disable lockstep batching of same-model "
                            "job groups (always run per job)")
+    crun.add_argument("--backend", default=None, metavar="NAME",
+                      help="linear-algebra backend for every job "
+                           "(superlu-serial, cholesky, dense; also "
+                           "via REPRO_SOLVER_BACKEND); participates "
+                           "in the cache key")
     crun.add_argument("-P", "--param", action="append", default=[],
                       metavar="KEY=VALUE",
                       help="campaign builder parameter, repeatable "
@@ -510,6 +515,15 @@ def _campaign_run(args) -> int:
     )
 
     spec = get_campaign(args.name, **_parse_campaign_params(args.param))
+    if getattr(args, "backend", None):
+        import dataclasses
+
+        from .solver.backends import get_backend
+
+        get_backend(args.backend)  # fail fast on unknown names
+        # replace() re-runs __post_init__, pushing the selection onto
+        # every job (and so into each job's content hash)
+        spec = dataclasses.replace(spec, backend=args.backend)
     cache = None
     cache_root = args.cache_dir or default_cache_dir()
     use_cache = not args.no_cache and disk_cache_enabled()

@@ -10,9 +10,10 @@ call that the registry does not know — so a misspelled metric name
 fails CI instead of silently splitting a counter in two.
 
 Dynamic names (f-strings) are allowed when they fall under a
-registered *prefix*; the only current one is ``campaign.cache.``, whose
-suffixes are the :attr:`~repro.campaign.cache.ResultCache.COUNTER_NAMES`
-op names.
+registered *prefix*: ``campaign.cache.`` (suffixes are the
+:attr:`~repro.campaign.cache.ResultCache.COUNTER_NAMES` op names) and
+``solver.backend.`` (per-backend counters keyed by the registered
+backend name, e.g. ``solver.backend.superlu-serial.factorizations``).
 """
 
 from __future__ import annotations
@@ -34,6 +35,8 @@ SPAN_NAMES = frozenset(
         "solver.transient.schedule",
         "solver.batched.simulate",
         "solver.batched.schedule",
+        "solver.backend.factorize",
+        "solver.backend.solve",
         "solver.analytic.kernel",
         "solver.analytic.solve",
         "campaign.batch",
@@ -78,7 +81,7 @@ METRIC_NAMES = frozenset(
 )
 
 #: Prefixes under which dynamically-built metric names are legal.
-METRIC_PREFIXES: Tuple[str, ...] = ("campaign.cache.",)
+METRIC_PREFIXES: Tuple[str, ...] = ("campaign.cache.", "solver.backend.")
 
 
 def known_span(name: str) -> bool:

@@ -1,5 +1,14 @@
 """Steady-state and transient solvers for thermal RC networks."""
 
+from .backends import (
+    DEFAULT_BACKEND,
+    Factor,
+    LinearBackend,
+    available_backends,
+    backend_override,
+    get_backend,
+    register_backend,
+)
 from .steady import steady_state, steady_block_temperatures
 from .transient import (
     TransientResult,
@@ -31,6 +40,13 @@ from .analytic import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "Factor",
+    "LinearBackend",
+    "available_backends",
+    "backend_override",
+    "get_backend",
+    "register_backend",
     "steady_state",
     "steady_block_temperatures",
     "TransientResult",

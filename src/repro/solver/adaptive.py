@@ -52,6 +52,9 @@ class AdaptiveTransientSolver:
         Local error tolerances (on the temperature-rise vector, K).
     dt_min, dt_max:
         Step-size bounds, seconds.
+    backend:
+        Linear-algebra backend name (see :mod:`repro.solver.backends`);
+        ``None`` follows the documented selection precedence.
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class AdaptiveTransientSolver:
         atol: float = 1e-3,
         dt_min: float = 1e-5,
         dt_max: float = 10.0,
+        backend: Optional[str] = None,
     ) -> None:
         if dt_min <= 0 or dt_max <= dt_min:
             raise SolverError("need 0 < dt_min < dt_max")
@@ -71,13 +75,15 @@ class AdaptiveTransientSolver:
         self.atol = float(atol)
         self.dt_min = float(dt_min)
         self.dt_max = float(dt_max)
+        self.backend = backend
         self._steppers: Dict[int, BackwardEulerStepper] = {}
         self._final_steppers: Dict[float, BackwardEulerStepper] = {}
 
     def _stepper(self, rung: int) -> BackwardEulerStepper:
         if rung not in self._steppers:
             self._steppers[rung] = BackwardEulerStepper(
-                self.network, self.dt_min * _LADDER_BASE ** rung
+                self.network, self.dt_min * _LADDER_BASE ** rung,
+                backend=self.backend,
             )
         return self._steppers[rung]
 
@@ -96,7 +102,9 @@ class AdaptiveTransientSolver:
         for stepper in self._final_steppers.values():
             if abs(stepper.dt - dt_final) <= _FACTOR_MATCH_RTOL * stepper.dt:
                 return stepper
-        stepper = BackwardEulerStepper(self.network, dt_final)
+        stepper = BackwardEulerStepper(
+            self.network, dt_final, backend=self.backend
+        )
         self._final_steppers[dt_final] = stepper
         return stepper
 

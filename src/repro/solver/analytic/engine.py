@@ -58,7 +58,8 @@ class AnalyticSolution:
     #: Fixed-point iterations spent on the non-uniform h correction
     #: (0 when the boundary is uniform).
     iterations: int
-    #: Last relative update of the correction field.
+    #: Last update of the correction field, normalized by
+    #: ``atol + norm(target)`` (so it stays finite as targets -> 0).
     residual: float
     #: Whether the correction iteration met its tolerance (vacuously
     #: true for uniform boundaries).
@@ -78,10 +79,16 @@ class AnalyticSteadyEngine:
         Apply the fixed-point correction for non-uniform convection
         fields (h(x)).  With ``False`` the mean h is used — faster,
         exact only for uniform boundaries.
-    max_iterations, rtol:
-        Stopping rule of the correction iteration: relative update of
-        the correction source below ``rtol``, or give up (with
-        ``converged=False`` on the solution) after ``max_iterations``.
+    max_iterations, rtol, atol:
+        Stopping rule of the correction iteration: the update norm of
+        every correction source below ``atol + rtol * norm(target)``,
+        or give up (with ``converged=False`` on the solution) after
+        ``max_iterations``.  The mixed criterion matters when the
+        correction modes legitimately shrink toward zero (a nearly
+        uniform ambient field): a purely relative test divides two
+        rounding-noise-sized norms and can report non-convergence on a
+        solve that is exact to machine precision, while ``atol`` (in
+        the mode-amplitude unit, K-ish) accepts it.
     """
 
     def __init__(
@@ -90,15 +97,19 @@ class AnalyticSteadyEngine:
         h_correction: bool = True,
         max_iterations: int = 60,
         rtol: float = 1e-11,
+        atol: float = 1e-12,
     ) -> None:
         if max_iterations < 1:
             raise SolverError("max_iterations must be >= 1")
         if rtol <= 0:
             raise SolverError("rtol must be positive")
+        if atol <= 0:
+            raise SolverError("atol must be positive")
         self.model = model
         self.h_correction = h_correction
         self.max_iterations = int(max_iterations)
         self.rtol = float(rtol)
+        self.atol = float(atol)
         self.stack: SlabStack = stack_from_model(model)
         self.kernel: SpectralKernel = get_kernel(self.stack)
 
@@ -186,6 +197,7 @@ class AnalyticSteadyEngine:
             previous = np.inf
             for iterations in range(1, self.max_iterations + 1):
                 residual = 0.0
+                all_within = True
                 for t in targets:
                     layer = stack.layers[t]
                     assert layer.ambient_delta is not None
@@ -197,12 +209,18 @@ class AnalyticSteadyEngine:
                         (-layer.ambient_delta * field_t).reshape(ny, nx)
                     )
                     update = target - corrections[t]
-                    scale = float(np.linalg.norm(target)) + 1e-300
+                    upd_norm = float(np.linalg.norm(update))
+                    tgt_norm = float(np.linalg.norm(target))
+                    # mixed absolute/relative test: when the correction
+                    # modes legitimately shrink toward zero, the ratio
+                    # of two noise-sized norms must not veto convergence
+                    if upd_norm > self.atol + self.rtol * tgt_norm:
+                        all_within = False
                     residual = max(
-                        residual, float(np.linalg.norm(update)) / scale
+                        residual, upd_norm / (self.atol + tgt_norm)
                     )
                     corrections[t] = corrections[t] + damping * update
-                if residual <= self.rtol:
+                if all_within:
                     converged = True
                     break
                 if residual > previous:

@@ -255,6 +255,7 @@ def batched_transient_simulate(
     method: str = "trapezoidal",
     record_every: int = 1,
     projector: Optional[Projector] = None,
+    backend: Optional[str] = None,
 ) -> BatchedTransientResult:
     """Integrate K scenarios on one network in lockstep.
 
@@ -265,6 +266,10 @@ def batched_transient_simulate(
     ``scenarios[k]``'s power and ``x0``.  One LU factorization (per
     stepper) serves all K columns, and piecewise-constant schedules
     are materialized block-wise instead of evaluated per step.
+
+    The bitwise guarantee holds for ``bitwise=True`` backends (the
+    default ``superlu-serial``); tolerance backends agree with their
+    serial counterparts within the backend's documented rtol.
     """
     if not scenarios:
         raise SolverError("need at least one scenario")
@@ -279,7 +284,7 @@ def batched_transient_simulate(
     x = _initial_states([sc.x0 for sc in scenarios], n_nodes)
     observe = _make_observer(projector, n_scenarios)
 
-    stepper: _ImplicitStepper = stepper_cls(network, dt)
+    stepper: _ImplicitStepper = stepper_cls(network, dt, backend=backend)
     n_steps = n_full + (1 if dt_final is not None else 0)
     times: List[float] = [0.0]
     records: List[np.ndarray] = [observe(x)]
@@ -303,7 +308,9 @@ def batched_transient_simulate(
                     records.append(observe(x))
             p_prev = p_block[-1]
         if dt_final is not None:
-            final_stepper: _ImplicitStepper = stepper_cls(network, dt_final)
+            final_stepper: _ImplicitStepper = stepper_cls(
+                network, dt_final, backend=backend
+            )
             p_end = _materialize(columns, np.array([t_end]), n_nodes)[0]
             p_eff_final = final_stepper.effective_power(p_prev, p_end)
             x = final_stepper.step_effective(x, p_eff_final.T)
@@ -326,6 +333,7 @@ def batched_simulate_schedules(
     record_every: int = 1,
     projector: Optional[Projector] = None,
     tags: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> BatchedTransientResult:
     """Integrate K piecewise-constant schedules in lockstep.
 
@@ -335,7 +343,9 @@ def batched_simulate_schedules(
     call with ``schedules[k]``.  All schedules must share one boundary
     grid (the shape of a same-model campaign group); mismatched grids
     raise :class:`SolverError`, which campaign callers treat as "fall
-    back to per-job execution".
+    back to per-job execution".  As with
+    :func:`batched_transient_simulate`, "bitwise" is per-backend:
+    tolerance backends match within their documented rtol instead.
     """
     if not schedules:
         raise SolverError("need at least one schedule")
@@ -359,7 +369,7 @@ def batched_simulate_schedules(
     )
     observe = _make_observer(projector, n_scenarios)
 
-    stepper: _ImplicitStepper = stepper_cls(network, dt)
+    stepper: _ImplicitStepper = stepper_cls(network, dt, backend=backend)
     short_steppers: Dict[float, _ImplicitStepper] = {}
     n_segments = len(schedules[0].powers)
     times: List[float] = [0.0]
@@ -391,7 +401,9 @@ def batched_simulate_schedules(
                 else:
                     key = round(remaining, 15)
                     if key not in short_steppers:
-                        short_steppers[key] = stepper_cls(network, remaining)
+                        short_steppers[key] = stepper_cls(
+                            network, remaining, backend=backend
+                        )
                     x = short_steppers[key].step_effective(x, p_eff)
                     now = seg_end
                 step_counter += 1

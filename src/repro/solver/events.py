@@ -105,6 +105,7 @@ def simulate_schedule(
     method: str = "trapezoidal",
     record_every: int = 1,
     projector: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    backend: Optional[str] = None,
 ) -> TransientResult:
     """Integrate through a piecewise-constant schedule.
 
@@ -119,7 +120,7 @@ def simulate_schedule(
         raise SolverError(
             f"unknown method {method!r}; pick from {sorted(_STEPPERS)}"
         ) from None
-    stepper = stepper_cls(network, dt)
+    stepper = stepper_cls(network, dt, backend=backend)
     short_steppers = {}
 
     x = np.zeros(network.n_nodes) if x0 is None else np.asarray(x0, float).copy()
@@ -145,7 +146,9 @@ def simulate_schedule(
                 else:
                     key = round(remaining, 15)
                     if key not in short_steppers:
-                        short_steppers[key] = stepper_cls(network, remaining)
+                        short_steppers[key] = stepper_cls(
+                            network, remaining, backend=backend
+                        )
                     x = short_steppers[key].step(x, power)
                     now = seg_end
                 step_counter += 1

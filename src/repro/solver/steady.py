@@ -2,30 +2,33 @@
 
 Steady state solves ``A x = P`` for the vector of temperature rises
 ``x = T - T_ambient``, where ``A`` is the symmetric positive definite
-system matrix of the network.  The sparse Cholesky-like factorization is
-delegated to SuperLU via :func:`scipy.sparse.linalg.splu` and cached on
-the network, so repeated solves (e.g. the four flow directions of the
-paper's Fig. 11, or DTM sweeps) refactor only when the network changes.
-The cache is keyed on a fingerprint of the system matrix itself, so
+system matrix of the network.  The factorization is delegated to the
+selected :mod:`~repro.solver.backends` engine (SuperLU by default) and
+cached on the network, so repeated solves (e.g. the four flow
+directions of the paper's Fig. 11, or DTM sweeps) refactor only when
+the network — or the backend — changes.  The cache is keyed on a
+fingerprint of the system matrix itself plus the backend identity, so
 mutating the network (or rebuilding its system matrix) after a solve
-triggers refactorization instead of silently reusing a stale factor.
+triggers refactorization instead of silently reusing a stale factor,
+and a factor produced by one backend is never served to another.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
-from typing import Annotated, Dict, Union
+from typing import Annotated, Dict, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import SuperLU, splu
 
 from .. import obs
 from .. import units
 from ..errors import SolverError
 from ..rcmodel.grid import ThermalGridModel
 from ..rcmodel.network import ThermalNetwork
+from . import backends
+from .backends import Factor, LinearBackend
 
 _FACTOR_CACHE_ATTR = "_cached_lu_factor"
 
@@ -38,36 +41,47 @@ _SOLVE_SECONDS = obs.metrics().histogram("solver.steady.solve_seconds")
 def system_fingerprint(matrix: sparse.spmatrix) -> str:
     """A fast content hash of a CSC/CSR sparse matrix.
 
-    Hashes the value/index/pointer arrays and the shape; two matrices
-    share a fingerprint iff they hold identical sparse content.  Cost
-    is linear in nnz (a memory pass), negligible next to a
-    factorization but enough to catch in-place mutation.
+    Hashes the storage format, shape, array dtypes, and the
+    value/index/pointer arrays; two matrices share a fingerprint iff
+    they hold identical sparse content in the same representation.
+    The format and index dtype matter: the same logical matrix stored
+    CSC vs CSR (or with int32 vs int64 indices) factorizes through
+    different code paths, so the raw buffer bytes alone are not a safe
+    identity.  Cost is linear in nnz (a memory pass), negligible next
+    to a factorization but enough to catch in-place mutation.
     """
     digest = hashlib.sha256()
+    digest.update(matrix.format.encode())
     digest.update(repr(matrix.shape).encode())
+    digest.update(str(matrix.data.dtype).encode())
+    digest.update(str(matrix.indices.dtype).encode())
+    digest.update(str(matrix.indptr.dtype).encode())
     digest.update(np.ascontiguousarray(matrix.data).tobytes())
     digest.update(np.ascontiguousarray(matrix.indices).tobytes())
     digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
     return digest.hexdigest()
 
 
-def _factorize(network: ThermalNetwork) -> SuperLU:
+def _factorize(
+    network: ThermalNetwork,
+    backend: Optional[LinearBackend] = None,
+) -> Factor:
+    if backend is None:
+        backend = backends.get_backend()
     matrix = network.system_matrix
-    fingerprint = system_fingerprint(matrix)
+    key: Tuple[str, str] = (system_fingerprint(matrix), backend.cache_key())
     cached = getattr(network, _FACTOR_CACHE_ATTR, None)
-    if cached is not None and cached[0] == fingerprint:
+    if cached is not None and cached[0] == key:
         _FACTOR_CACHE_HITS.inc()
-        return cached[1]
-    with obs.span("solver.steady.factorize",
+        factor: Factor = cached[1]
+        return factor
+    with obs.span("solver.steady.factorize", backend=backend.name,
                   n_nodes=matrix.shape[0], nnz=int(matrix.nnz)):
-        try:
-            factor = splu(matrix)
-        except RuntimeError as exc:  # singular matrix
-            raise SolverError(
-                f"steady-state factorization failed: {exc}"
-            ) from exc
+        # backend.factorize normalizes every engine's failure mode
+        # (SuperLU RuntimeError, LAPACK LinAlgError, ...) to SolverError
+        factor = backend.factorize(matrix)
     _FACTORIZATIONS.inc()
-    setattr(network, _FACTOR_CACHE_ATTR, (fingerprint, factor))
+    setattr(network, _FACTOR_CACHE_ATTR, (key, factor))
     return factor
 
 
@@ -76,6 +90,7 @@ def steady_state(
     node_power: Annotated[
         np.ndarray, units.array_shape("n_nodes"), units.array_dtype("float64")
     ],
+    backend: Optional[str] = None,
 ) -> Annotated[
     np.ndarray, units.array_shape("n_nodes"), units.array_dtype("float64")
 ]:
@@ -91,9 +106,13 @@ def steady_state(
             "power vector contains non-finite values (NaN/Inf); "
             "check the block power map before solving"
         )
+    engine = backends.get_backend(backend)
     t0 = time.perf_counter()
     with obs.span("solver.steady.solve", n_nodes=network.n_nodes):
-        rise = _factorize(network).solve(node_power)
+        factor = _factorize(network, engine)
+        with obs.span("solver.backend.solve", backend=engine.name,
+                      n_nodes=network.n_nodes):
+            rise = factor.solve(node_power)
         if not np.all(np.isfinite(rise)):
             raise SolverError(
                 "steady-state solve produced non-finite temperatures"
@@ -106,12 +125,15 @@ def steady_state(
 def steady_block_temperatures(
     model: ThermalGridModel,
     block_power: Union[np.ndarray, Dict[str, float]],
+    backend: Optional[str] = None,
 ) -> Dict[str, float]:
     """Per-block steady temperatures (Kelvin) for a power assignment.
 
     Convenience wrapper: expands block power onto the grid, solves, and
     aggregates back to named blocks.
     """
-    rise = steady_state(model.network, model.node_power(block_power))
+    rise = steady_state(
+        model.network, model.node_power(block_power), backend=backend
+    )
     temps = model.block_temperatures(rise)
     return model.floorplan.power_dict(temps)

@@ -27,11 +27,12 @@ from typing import Any, Callable, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import splu
 
 from .. import obs
 from ..errors import SolverError
 from ..rcmodel.network import ThermalNetwork
+from . import backends
+from .backends import Factor, LinearBackend
 
 PowerInput = Union[np.ndarray, Callable[[float], np.ndarray]]
 
@@ -42,32 +43,6 @@ _STEPS = obs.metrics().counter("solver.transient.steps")
 #: part in 1e9 of an integer are float-division residue, not a real
 #: remainder, and integrate as exactly that many full steps.
 _ALIGN_RTOL = 1e-9
-
-try:
-    from scipy.sparse import _sparsetools as _scipy_sparsetools
-
-    def _csr_matvecs(matrix: Any, x: np.ndarray) -> np.ndarray:
-        """``matrix @ x`` for 2-D ``x`` without operator-dispatch cost.
-
-        Calls the same C kernel scipy's ``@`` runs (``csr_matvecs``),
-        which accumulates each output column in exactly the single-
-        vector order — so column ``k`` is bitwise ``matrix @ x[:, k]``.
-        The batched stepping loop calls this every step, where the
-        public operator's per-call validation would dominate on small
-        grids.
-        """
-        n_row, n_col = matrix.shape
-        n_vecs = x.shape[1]
-        x = np.ascontiguousarray(x)
-        out = np.zeros((n_row, n_vecs))
-        _scipy_sparsetools.csr_matvecs(
-            n_row, n_col, n_vecs, matrix.indptr, matrix.indices,
-            matrix.data, x.ravel(), out.ravel(),
-        )
-        return out
-except ImportError:  # pragma: no cover - scipy layout changed
-    def _csr_matvecs(matrix: Any, x: np.ndarray) -> np.ndarray:
-        return matrix @ x
 
 
 def plan_fixed_steps(t_end: float, dt: float) -> Tuple[int, Optional[float]]:
@@ -133,17 +108,20 @@ class _ImplicitStepper:
 
     order: int = 0
     method: str = ""
-    #: SuperLU factorization of the implicit system matrix, built by
-    #: the subclass ``_factorize``.
-    _lhs: Any
+    #: Backend factorization of the implicit system matrix, built by
+    #: the subclass ``_factorize`` through :attr:`backend`.
+    _factor: Factor
 
-    def __init__(self, network: ThermalNetwork, dt: float) -> None:
+    def __init__(self, network: ThermalNetwork, dt: float,
+                 backend: Optional[str] = None) -> None:
         if dt <= 0:
             raise SolverError("dt must be positive")
         self.network = network
         self.dt = float(dt)
+        self.backend: LinearBackend = backends.get_backend(backend)
         with obs.span("solver.transient.factorize", method=self.method,
-                      n_nodes=network.n_nodes, dt=self.dt):
+                      n_nodes=network.n_nodes, dt=self.dt,
+                      backend=self.backend.name):
             self._factorize(network)
         _MATRIX_BUILDS.inc()
 
@@ -155,25 +133,19 @@ class _ImplicitStepper:
         raise NotImplementedError
 
     def _solve_columns(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve a multi-column RHS, each column bitwise as if alone.
+        """Solve a multi-column RHS under the backend's contract.
 
-        SuperLU routes a multi-RHS solve through blocked BLAS kernels
-        whose floating-point operation order can differ from the
-        single-RHS path — measurably: on a 400-node EV6 grid a blocked
-        K=8 solve tracks the per-column results bitwise for ~400 steps
-        and then rounds one element differently.  The divergence is
-        value-dependent, so no upfront probe can certify the blocked
-        path.  Solving each column separately against the shared
-        factorization is the exact serial operation sequence and keeps
-        the "batch column == stepping that scenario alone" contract by
-        construction; the batch still amortizes factorizations, RHS
-        assembly, and the Python stepping loop.
+        For bitwise backends each column is solved separately against
+        the shared factorization — the exact serial operation
+        sequence, because SuperLU's blocked multi-RHS kernel cannot be
+        certified bitwise (on a 400-node EV6 grid a blocked K=8 solve
+        tracks the per-column results for ~400 steps and then rounds
+        one element differently; the divergence is value-dependent).
+        Tolerance backends route through their blocked kernels and the
+        "batch column == stepping that scenario alone" guarantee
+        weakens to the backend's documented rtol envelope.
         """
-        rhs = np.asfortranarray(rhs)  # column slices become copy-free views
-        out = np.empty(rhs.shape)  # C order: the next RHS ravels for free
-        for k in range(rhs.shape[1]):
-            out[:, k] = self._lhs.solve(rhs[:, k])
-        return out
+        return self._factor.solve_columns(rhs)
 
     def step(self, x: np.ndarray, p_now: np.ndarray,
              p_next: Optional[np.ndarray] = None) -> np.ndarray:
@@ -182,7 +154,7 @@ class _ImplicitStepper:
         _STEPS.inc()
         if rhs.ndim == 2:
             return self._solve_columns(rhs)
-        return self._lhs.solve(rhs)
+        return self._factor.solve(rhs)
 
     def effective_power(self, p_now: np.ndarray,
                         p_next: np.ndarray) -> np.ndarray:
@@ -206,7 +178,7 @@ class _ImplicitStepper:
         _STEPS.inc()
         if rhs.ndim == 2:
             return self._solve_columns(rhs)
-        return self._lhs.solve(rhs)
+        return self._factor.solve(rhs)
 
     def _rhs_state(self, x: np.ndarray) -> np.ndarray:
         """The state-dependent part of the RHS (a fresh, writable array)."""
@@ -225,7 +197,7 @@ class TrapezoidalStepper(_ImplicitStepper):
     def _factorize(self, network: ThermalNetwork) -> None:
         c_over_dt = sparse.diags(network.capacitance / self.dt)
         a = network.system_matrix
-        self._lhs = splu((c_over_dt + 0.5 * a).tocsc())
+        self._factor = self.backend.factorize((c_over_dt + 0.5 * a).tocsc())
         self._rhs_matrix = (c_over_dt - 0.5 * a).tocsr()
 
     def _rhs(self, x: np.ndarray, p_now: np.ndarray,
@@ -233,7 +205,7 @@ class TrapezoidalStepper(_ImplicitStepper):
         if p_next is None:
             p_next = p_now
         if x.ndim == 2:
-            out = _csr_matvecs(self._rhs_matrix, x)
+            out = self.backend.matvec(self._rhs_matrix, x)
             out += 0.5 * (p_now + p_next)
             return out
         return self._rhs_matrix @ x + 0.5 * (p_now + p_next)
@@ -244,8 +216,8 @@ class TrapezoidalStepper(_ImplicitStepper):
 
     def _rhs_state(self, x: np.ndarray) -> np.ndarray:
         if x.ndim == 2:
-            return _csr_matvecs(self._rhs_matrix, x)
-        return self._rhs_matrix @ x
+            return self.backend.matvec(self._rhs_matrix, x)
+        return np.asarray(self._rhs_matrix @ x)
 
 
 class BackwardEulerStepper(_ImplicitStepper):
@@ -260,7 +232,9 @@ class BackwardEulerStepper(_ImplicitStepper):
     def _factorize(self, network: ThermalNetwork) -> None:
         self._c_over_dt = network.capacitance / self.dt
         a = network.system_matrix
-        self._lhs = splu((sparse.diags(self._c_over_dt) + a).tocsc())
+        self._factor = self.backend.factorize(
+            (sparse.diags(self._c_over_dt) + a).tocsc()
+        )
 
     def _rhs(self, x: np.ndarray, p_now: np.ndarray,
              p_next: Optional[np.ndarray]) -> np.ndarray:
@@ -304,6 +278,7 @@ def transient_simulate(
     method: str = "trapezoidal",
     record_every: int = 1,
     projector: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    backend: Optional[str] = None,
 ) -> TransientResult:
     """Integrate the network from ``x0`` to ``t_end``.
 
@@ -325,12 +300,15 @@ def transient_simulate(
     projector:
         Optional reduction applied to each recorded state (e.g.
         ``model.block_rise``) so long runs don't store full node fields.
+    backend:
+        Linear-algebra backend name (see :mod:`repro.solver.backends`);
+        ``None`` follows the documented selection precedence.
     """
     if record_every < 1:
         raise SolverError("record_every must be >= 1")
     stepper_cls = stepper_class(method)
     n_full, dt_final = plan_fixed_steps(t_end, dt)
-    stepper = stepper_cls(network, dt)
+    stepper = stepper_cls(network, dt, backend=backend)
 
     n_steps = n_full + (1 if dt_final is not None else 0)
     def checked_power(values: Any, t: float) -> np.ndarray:
@@ -379,7 +357,7 @@ def transient_simulate(
         if dt_final is not None:
             # exact final partial step: a misaligned dt must not
             # silently shrink or stretch the simulated horizon
-            final_stepper = stepper_cls(network, dt_final)
+            final_stepper = stepper_cls(network, dt_final, backend=backend)
             p_next = np.asarray(power_at(t_end), dtype=float)
             x = final_stepper.step(x, p_now, p_next)
             times.append(t_end)

@@ -114,6 +114,78 @@ def test_h_correction_flag_matters():
     assert err_mean > 100 * err_corrected
 
 
+# -- mixed absolute/relative convergence (regression) ------------------------
+
+def _tiny_delta_engine(scale):
+    """An engine whose ambient fluctuations are scaled toward zero.
+
+    The kernel depends only on the stack's structural content (the
+    per-cell ambient deltas enter at apply time, see
+    ``SlabStack.kernel_fingerprint``), so scaling ``ambient_delta``
+    in place keeps the cached kernel valid.
+    """
+    import dataclasses
+
+    config = oil_silicon_package(W, H, uniform_h=False,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+    engine = AnalyticSteadyEngine(model)
+    stack = engine.stack
+    layers = tuple(
+        dataclasses.replace(
+            layer,
+            ambient_delta=(None if layer.ambient_delta is None
+                           else layer.ambient_delta * scale),
+        )
+        for layer in stack.layers
+    )
+    engine.stack = dataclasses.replace(stack, layers=layers)
+    return engine
+
+
+def test_near_zero_ambient_delta_accepted_absolutely():
+    """Corrections that legitimately shrink toward zero must converge.
+
+    With a purely relative residual (``norm(update) / norm(target)``)
+    a vanishing target makes the ratio noise-dominated; the mixed
+    criterion accepts the first sweep outright because the update is
+    absolutely negligible.
+    """
+    engine = _tiny_delta_engine(1e-20)
+    power = _gcc_like_power()
+    solution = engine.solve(power)
+    assert solution.converged
+    assert solution.iterations == 1
+    # and the answer is indistinguishable from the mean-h solve
+    mean_only = AnalyticSteadyEngine(
+        engine.model, h_correction=False
+    ).solve(power)
+    np.testing.assert_allclose(solution.active_rise,
+                               mean_only.active_rise,
+                               rtol=1e-12, atol=1e-12)
+
+
+def test_mixed_criterion_accepts_below_atol_despite_tight_rtol():
+    """``atol`` alone can certify convergence when ``rtol`` is below
+    the float roundoff floor (where a relative-only test would spin
+    until ``max_iterations`` and report failure)."""
+    config = oil_silicon_package(W, H, uniform_h=False,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+    solution = AnalyticSteadyEngine(
+        model, rtol=1e-30, atol=1e-9
+    ).solve(_gcc_like_power())
+    assert solution.converged
+
+
+def test_engine_validates_atol():
+    config = oil_silicon_package(W, H, uniform_h=True,
+                                 include_secondary=False)
+    model = ThermalGridModel(PLAN, config, nx=8, ny=8)
+    with pytest.raises(SolverError, match="atol"):
+        AnalyticSteadyEngine(model, atol=0.0)
+
+
 # -- rimmed (overhanging) packages: the documented envelope ------------------
 
 @pytest.mark.parametrize("config_name", ["oil_secondary", "air_sink"])
